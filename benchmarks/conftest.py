@@ -1,0 +1,52 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index). Heavy artifacts — the bigcore design and
+the ACE-model workload suite — are built once per session.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ace.portavf import suite_ports
+from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
+from repro.workloads import default_suite
+
+
+@pytest.fixture(scope="session")
+def bigcore_design():
+    return build_bigcore(BigcoreConfig(scale=1.0, seed=42))
+
+
+@pytest.fixture(scope="session")
+def model_ports():
+    """ACE-model port AVFs averaged over the workload suite."""
+    traces = default_suite(per_class=3, length=5000)
+    ports, results = suite_ports(traces)
+    return ports, results
+
+
+@pytest.fixture(scope="session")
+def bigcore_ports(bigcore_design, model_ports):
+    ports, _ = model_ports
+    return map_structure_ports(bigcore_design, ports)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Fixed-width table printer shared by the benchmarks."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) + 2 for i, h in enumerate(header)]
+    print("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,74 @@
+"""The complete paper flow on a real (simulable) CPU.
+
+For one tinycore benchmark this script runs all five steps of Section 5:
+
+1. the "performance model" (tinycore's architectural simulator) with ACE
+   analysis -> structure port AVFs,
+2. the RTL side: build + flatten the gate-level core,
+3. structure-bit mapping (via ``struct`` attributes on the netlist),
+4. SART pAVF walks with loop breaking and relaxation,
+5. the per-FUB report — then validates the result against a statistical
+   fault-injection campaign on the same netlist.
+
+Run:  python examples/tinycore_flow.py [program] [injections]
+"""
+
+import sys
+
+from repro import SartConfig, run_sart
+from repro.core.report import average_seq_avf
+from repro.designs.tinycore.archsim import tinycore_structure_ports
+from repro.designs.tinycore.core import build_tinycore
+from repro.designs.tinycore.harness import run_gate_level
+from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
+from repro.netlist.graph import extract_graph
+from repro.ser.correlation import TINYCORE_LOOP_PAVF
+from repro.sfi import overall_avf, plan_campaign, run_sfi_campaign
+
+
+def main(name: str = "lattice2d", injections: int = 378):
+    if name not in PROGRAMS:
+        raise SystemExit(f"unknown program {name!r}; choose from {sorted(PROGRAMS)}")
+    words, dmem = program(name), default_dmem(name)
+
+    print(f"== step 2-3: build RTL, run golden simulation ({name}) ==")
+    netlist = build_tinycore(words, dmem)
+    golden = run_gate_level(words, dmem, netlist=netlist)
+    print(f"   {len(netlist.module.instances)} instances, "
+          f"{len(netlist.module.sequential_instances())} flops, "
+          f"{golden.cycles} cycles, outputs {golden.outputs[0][:6]}...")
+
+    print("== step 1: ACE analysis on the architectural model ==")
+    ports, trace, _ = tinycore_structure_ports(name, words, dmem,
+                                               gate_cycles=golden.cycles)
+    print(f"   ACE instruction fraction: {trace.ace_fraction():.2f}")
+    for sname, p in sorted(ports.items()):
+        print(f"   {sname:6s} pAVF_R={p.pavf_r:.3f} pAVF_W={p.pavf_w:.3f} "
+              f"AVF={p.avf:.3f}")
+
+    print("== steps 4-5: SART walks + resolution ==")
+    config = SartConfig(loop_pavf=TINYCORE_LOOP_PAVF)
+    result = run_sart(netlist.module, ports, config)
+    print(result.report.table())
+    print(f"   loops: {int(result.stats['loop_bits'])} bits, "
+          f"visited {result.report.visited_fraction:.1%}, "
+          f"{result.elapsed_seconds:.2f}s")
+    sart_avf = average_seq_avf(result.node_avfs)
+    print(f"   average sequential AVF: {sart_avf:.3f}")
+
+    print(f"== validation: SFI campaign ({injections} injections) ==")
+    seqs = extract_graph(netlist.module).seq_nets()
+    plans = plan_campaign(seqs, golden.cycles - 2, injections, seed=1)
+    campaign = run_sfi_campaign(words, dmem, plans, netlist=netlist)
+    avf, (lo, hi) = overall_avf(campaign.outcomes)
+    print(f"   SFI AVF = {avf:.3f} [{lo:.3f}, {hi:.3f}]  "
+          f"counts={campaign.counts()}  ({campaign.elapsed_seconds:.1f}s)")
+    verdict = "conservative" if sart_avf >= lo else "NOT conservative"
+    print(f"   SART {sart_avf:.3f} vs SFI interval -> {verdict}")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "lattice2d",
+        int(sys.argv[2]) if len(sys.argv) > 2 else 378,
+    )

@@ -1,0 +1,63 @@
+"""repro — sequential-bit AVF computation via port-AVF propagation.
+
+A full reproduction of Raasch, Biswas, Stephan, Racunas & Emer, "A Fast
+and Accurate Analytical Technique to Compute the AVF of Sequential Bits
+in a Processor" (MICRO-48, 2015), including every substrate the paper
+depends on:
+
+* :mod:`repro.core` — SART, the paper's contribution: pAVF propagation
+  through an RTL node graph with loop breaking, control-register
+  injection, per-FUB relaxation and closed-form re-evaluation.
+* :mod:`repro.netlist` / :mod:`repro.rtlsim` — the RTL substrate: a
+  bit-level netlist model, EXLIF interchange format, and a lane-parallel
+  gate-level simulator.
+* :mod:`repro.perfmodel` / :mod:`repro.ace` — the performance-model side:
+  a trace-driven OoO pipeline with ACE lifetime analysis, bit-field
+  analysis, Hamming-distance-1 analysis and port-AVF extraction.
+* :mod:`repro.designs` — tinycore (a real, simulable 16-bit pipelined
+  CPU) and bigcore (a synthetic Xeon-scale netlist generator).
+* :mod:`repro.sfi` / :mod:`repro.ser` — the baselines and validation:
+  statistical fault injection and a simulated accelerated beam test with
+  Eq 1 FIT modelling.
+
+Quickstart::
+
+    from repro import SartConfig, StructurePorts, run_sart
+    from repro.netlist.builder import ModuleBuilder
+
+    b = ModuleBuilder("pipe")
+    tie = b.input("tie_in")
+    src = b.dff(tie, name="s1", attrs={"struct": "S1", "bit": "0"})
+    q = b.dff(src, name="stage")
+    b.dff(q, name="s2", attrs={"struct": "S2", "bit": "0"})
+    result = run_sart(
+        b.done(),
+        {
+            "S1": StructurePorts("S1", pavf_r=0.2, pavf_w=0.0, avf=0.4),
+            "S2": StructurePorts("S2", pavf_r=0.0, pavf_w=0.1, avf=0.4),
+        },
+    )
+    print(result.avf(q))  # MIN(0.2, 0.1) = 0.1
+"""
+
+from repro.core.graphmodel import StructurePorts
+from repro.core.sart import SartConfig, SartResult, run_sart
+from repro.core.report import DesignReport, FubReport, average_seq_avf, fub_report
+from repro.core.symbolic import ClosedForm
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClosedForm",
+    "DesignReport",
+    "FubReport",
+    "ReproError",
+    "SartConfig",
+    "SartResult",
+    "StructurePorts",
+    "average_seq_avf",
+    "fub_report",
+    "run_sart",
+    "__version__",
+]

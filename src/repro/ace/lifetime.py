@@ -1,0 +1,185 @@
+"""ACE lifetime analysis (Mukherjee et al. [1]; paper Eq 3).
+
+The analyzer consumes write/read/release events from the performance
+model's structures and integrates, per structure, the number of
+bit-cycles during which the structure held ACE (or unknown) state:
+
+* a segment opens at a write with its ACE bit count;
+* ACE residency accrues from the write to the **last read** of the
+  segment (data read later is needed that long);
+* the idle tail between the last read and the overwrite/eviction is
+  un-ACE when the release is marked *consumed*, and entirely un-ACE when
+  the value was never read and the release says so;
+* segments still open when simulation ends are **unknown** and counted as
+  ACE, exactly as Eq 3 prescribes ("ACE+unknown bits").
+
+``StructureAvf.avf`` is then ACE bit-cycles divided by (bits x cycles).
+The same event stream feeds the port counters used for pAVF extraction
+(:mod:`repro.ace.portavf`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AceError
+
+
+@dataclass
+class _Segment:
+    start: int
+    ace_bits: int
+    last_read: int | None = None
+    reads: int = 0
+
+
+@dataclass
+class StructureAvf:
+    """Per-structure accumulators and derived metrics."""
+
+    name: str
+    entries: int
+    bits_per_entry: int
+    nread: int = 1
+    nwrite: int = 1
+    ace_bit_cycles: float = 0.0
+    unknown_bit_cycles: float = 0.0
+    total_reads: int = 0
+    ace_reads: int = 0
+    total_writes: int = 0
+    ace_writes: int = 0
+    ace_read_bitsum: float = 0.0   # sum of ace_bits over segments, per read
+    ace_write_bitsum: float = 0.0  # sum of ace_bits over writes
+    cycles: int = 0
+
+    def avf(self) -> float:
+        """Structure AVF per Eq 3 (unknown counted as ACE)."""
+        denom = self.entries * self.bits_per_entry * max(1, self.cycles)
+        return min(1.0, (self.ace_bit_cycles + self.unknown_bit_cycles) / denom)
+
+    def pavf_r(self) -> float:
+        """Read-port pAVF: ACE reads per simulated cycle (per port)."""
+        return min(1.0, self.ace_reads / (max(1, self.cycles) * self.nread))
+
+    def pavf_w(self) -> float:
+        """Write-port pAVF: ACE writes per simulated cycle (per port)."""
+        return min(1.0, self.ace_writes / (max(1, self.cycles) * self.nwrite))
+
+    def pavf_r_bitwise(self) -> float:
+        """Bit-weighted read pAVF (bit-field refinement).
+
+        Weights each ACE read by the fraction of the entry's bits that
+        were ACE, so control structures with sparse ACE fields get the
+        "much less conservative" value of Section 5.1.
+        """
+        denom = max(1, self.cycles) * self.nread * self.bits_per_entry
+        return min(1.0, self.ace_read_bitsum / denom)
+
+    def pavf_w_bitwise(self) -> float:
+        denom = max(1, self.cycles) * self.nwrite * self.bits_per_entry
+        return min(1.0, self.ace_write_bitsum / denom)
+
+    def ace_throughput(self) -> float:
+        """ACE values entering per cycle (Little's-law throughput term)."""
+        return self.ace_writes / max(1, self.cycles)
+
+
+class AceLifetimeAnalyzer:
+    """Implements the :class:`~repro.perfmodel.structures.EventRecorder`."""
+
+    def __init__(self) -> None:
+        self.structures: dict[str, StructureAvf] = {}
+        self._open: dict[tuple[str, int], _Segment] = {}
+        self._latency_sum: dict[str, float] = {}
+        self._latency_count: dict[str, int] = {}
+        self._finished = False
+
+    def register(
+        self, name: str, entries: int, bits_per_entry: int, nread: int = 1, nwrite: int = 1
+    ) -> None:
+        if name in self.structures:
+            raise AceError(f"structure {name!r} registered twice")
+        self.structures[name] = StructureAvf(
+            name=name, entries=entries, bits_per_entry=bits_per_entry,
+            nread=nread, nwrite=nwrite,
+        )
+
+    def _require(self, struct: str) -> StructureAvf:
+        found = self.structures.get(struct)
+        if found is None:
+            raise AceError(f"events for unregistered structure {struct!r}")
+        return found
+
+    # ------------------------------------------------------------------
+    # EventRecorder interface
+    # ------------------------------------------------------------------
+    def on_write(
+        self, struct: str, entry: int, cycle: int, ace: bool, ace_bits: int | None, bits: int
+    ) -> None:
+        stats = self._require(struct)
+        key = (struct, entry)
+        previous = self._open.pop(key, None)
+        if previous is not None:
+            self._close_segment(stats, previous, cycle, consumed=previous.reads > 0)
+        effective_bits = ace_bits if ace_bits is not None else (bits if ace else 0)
+        self._open[key] = _Segment(start=cycle, ace_bits=effective_bits)
+        stats.total_writes += 1
+        if effective_bits > 0:
+            stats.ace_writes += 1
+            stats.ace_write_bitsum += effective_bits
+
+    def on_read(self, struct: str, entry: int, cycle: int, ace: bool) -> None:
+        stats = self._require(struct)
+        segment = self._open.get((struct, entry))
+        if segment is None:
+            raise AceError(f"{struct}[{entry}]: read before write")
+        segment.last_read = cycle
+        segment.reads += 1
+        stats.total_reads += 1
+        if ace and segment.ace_bits > 0:
+            stats.ace_reads += 1
+            stats.ace_read_bitsum += segment.ace_bits
+
+    def on_release(self, struct: str, entry: int, cycle: int, consumed: bool) -> None:
+        stats = self._require(struct)
+        segment = self._open.pop((struct, entry), None)
+        if segment is None:
+            raise AceError(f"{struct}[{entry}]: release before write")
+        self._close_segment(stats, segment, cycle, consumed=consumed)
+
+    # ------------------------------------------------------------------
+    def _close_segment(
+        self, stats: StructureAvf, segment: _Segment, end: int, consumed: bool
+    ) -> None:
+        if segment.ace_bits <= 0:
+            return
+        if segment.last_read is not None:
+            span = max(0, segment.last_read - segment.start)
+        elif consumed:
+            # Consumed at release without an explicit read event
+            # (e.g. drained): the whole residency mattered.
+            span = max(0, end - segment.start)
+        else:
+            span = 0  # written, never needed: un-ACE residency
+        stats.ace_bit_cycles += span * segment.ace_bits
+        self._latency_sum[stats.name] = self._latency_sum.get(stats.name, 0.0) + span
+        self._latency_count[stats.name] = self._latency_count.get(stats.name, 0) + 1
+
+    def finish(self, cycles: int) -> dict[str, StructureAvf]:
+        """Close the analysis window; open segments become 'unknown'."""
+        if self._finished:
+            raise AceError("finish() called twice")
+        self._finished = True
+        for (struct, _entry), segment in self._open.items():
+            if segment.ace_bits > 0:
+                stats = self.structures[struct]
+                stats.unknown_bit_cycles += max(0, cycles - segment.start) * segment.ace_bits
+        self._open.clear()
+        for stats in self.structures.values():
+            stats.cycles = cycles
+        return self.structures
+
+    def mean_ace_latency(self, struct: str) -> float:
+        """Average ACE residency per value (Little's-law latency term)."""
+        count = self._latency_count.get(struct, 0)
+        return self._latency_sum.get(struct, 0.0) / count if count else 0.0

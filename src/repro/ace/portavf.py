@@ -1,0 +1,99 @@
+"""Port-AVF extraction (paper Section 4).
+
+"The pAVF of a bit in a structure's port or interface is the probability
+that ACE data will be transmitted to or from the structure through that
+bit. For a read port, pAVF_R is calculated by dividing the number of ACE
+reads from the structure by the total number of cycles simulated. For a
+write port, we divide the number of ACE writes to the structure by the
+number of simulated cycles."
+
+:func:`analyze_workload` runs the ACE-instrumented performance model;
+:func:`ports_from_analysis` converts the event counters into
+:class:`~repro.core.graphmodel.StructurePorts`; :func:`average_ports`
+aggregates across a workload suite (the paper collected pAVFs over 547
+workloads and used the suite-level values).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from typing import TYPE_CHECKING
+
+from repro.ace.lifetime import StructureAvf
+from repro.core.graphmodel import StructurePorts
+from repro.errors import AceError
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (machine uses ace)
+    from repro.perfmodel.machine import MachineConfig, PerfResult
+    from repro.perfmodel.trace import Trace
+
+
+def analyze_workload(trace: "Trace", config: "MachineConfig | None" = None) -> "PerfResult":
+    """Run one workload through the ACE model (thin alias, re-exported)."""
+    from repro.perfmodel.machine import run_workload
+
+    return run_workload(trace, config)
+
+
+def ports_from_analysis(
+    structures: Mapping[str, StructureAvf], *, bitwise: bool = True
+) -> dict[str, StructurePorts]:
+    """Convert ACE counters to structure port AVFs.
+
+    ``bitwise=True`` applies the bit-field refinement (each ACE event
+    weighted by the fraction of entry bits that were ACE); ``False`` uses
+    the plain event rates.
+    """
+    out: dict[str, StructurePorts] = {}
+    for name, stats in structures.items():
+        if bitwise:
+            r, w = stats.pavf_r_bitwise(), stats.pavf_w_bitwise()
+        else:
+            r, w = stats.pavf_r(), stats.pavf_w()
+        out[name] = StructurePorts(name=name, pavf_r=r, pavf_w=w, avf=stats.avf())
+    return out
+
+
+def average_ports(
+    port_sets: Iterable[Mapping[str, StructurePorts]],
+) -> dict[str, StructurePorts]:
+    """Arithmetic mean of port AVFs across workloads.
+
+    Every workload must report the same structure set (they all run on
+    the same machine model).
+    """
+    port_sets = list(port_sets)
+    if not port_sets:
+        raise AceError("average_ports needs at least one workload result")
+    names = set(port_sets[0])
+    for ports in port_sets[1:]:
+        if set(ports) != names:
+            raise AceError("workloads report different structure sets")
+    out: dict[str, StructurePorts] = {}
+    n = len(port_sets)
+    for name in sorted(names):
+        r = sum(_scalar(p[name].pavf_r) for p in port_sets) / n
+        w = sum(_scalar(p[name].pavf_w) for p in port_sets) / n
+        avfs = [p[name].avf for p in port_sets if p[name].avf is not None]
+        avf = sum(avfs) / len(avfs) if avfs else None
+        out[name] = StructurePorts(name=name, pavf_r=r, pavf_w=w, avf=avf)
+    return out
+
+
+def suite_ports(
+    traces, config=None, *, bitwise: bool = True
+) -> "tuple[dict[str, StructurePorts], list[PerfResult]]":
+    """Run a workload suite and return suite-average ports + per-run data."""
+    results = [analyze_workload(t, config) for t in traces]
+    averaged = average_ports(
+        ports_from_analysis(r.structures, bitwise=bitwise) for r in results
+    )
+    return averaged, results
+
+
+def _scalar(value) -> float:
+    if isinstance(value, (int, float)):
+        return float(value)
+    values = list(value)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,118 @@
+"""Quantized AVF: vulnerability variation over time windows.
+
+Implements the windowed refinement of Biswas et al., "Quantized AVF: A
+Means of Capturing Vulnerability Variations over Small Windows of Time"
+(SELSE 2009) — the authors' own companion technique, cited by the paper
+— on top of this library's machinery:
+
+* a :class:`WindowedPortCounter` records ACE port events per fixed-size
+  cycle window while the normal lifetime analyzer runs alongside it (via
+  :class:`TeeRecorder`);
+* each window's event rates become a :class:`StructurePorts` table;
+* plugging each table into SART's closed-form equations yields a
+  *sequential-AVF time series* without re-walking anything — windowed
+  pAVFs compose with Section 5.2's closed forms for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.graphmodel import StructurePorts
+from repro.errors import AceError
+
+
+class TeeRecorder:
+    """Fan one structure-event stream out to several recorders."""
+
+    def __init__(self, *recorders):
+        self.recorders = [r for r in recorders if r is not None]
+
+    def on_write(self, struct, entry, cycle, ace, ace_bits, bits) -> None:
+        for r in self.recorders:
+            r.on_write(struct, entry, cycle, ace, ace_bits, bits)
+
+    def on_read(self, struct, entry, cycle, ace) -> None:
+        for r in self.recorders:
+            r.on_read(struct, entry, cycle, ace)
+
+    def on_release(self, struct, entry, cycle, consumed) -> None:
+        for r in self.recorders:
+            r.on_release(struct, entry, cycle, consumed)
+
+
+@dataclass
+class _WindowCounts:
+    ace_reads: dict[str, int] = field(default_factory=dict)
+    ace_writes: dict[str, int] = field(default_factory=dict)
+
+
+class WindowedPortCounter:
+    """ACE port-event counts per fixed-size cycle window."""
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise AceError("window must be >= 1 cycle")
+        self.window = window
+        self._windows: dict[int, _WindowCounts] = {}
+        self._ports: dict[str, tuple[int, int]] = {}  # struct -> (nread, nwrite)
+
+    def register(self, struct: str, nread: int = 1, nwrite: int = 1) -> None:
+        self._ports[struct] = (nread, nwrite)
+
+    def _bucket(self, cycle: int) -> _WindowCounts:
+        return self._windows.setdefault(cycle // self.window, _WindowCounts())
+
+    # EventRecorder interface ------------------------------------------------
+    def on_write(self, struct, entry, cycle, ace, ace_bits, bits) -> None:
+        if ace or (ace_bits or 0) > 0:
+            counts = self._bucket(cycle).ace_writes
+            counts[struct] = counts.get(struct, 0) + 1
+
+    def on_read(self, struct, entry, cycle, ace) -> None:
+        if ace:
+            counts = self._bucket(cycle).ace_reads
+            counts[struct] = counts.get(struct, 0) + 1
+
+    def on_release(self, struct, entry, cycle, consumed) -> None:
+        pass  # releases carry no port traffic
+
+    # ------------------------------------------------------------------
+    def window_ports(
+        self, total_cycles: int, structures: Sequence[str] | None = None
+    ) -> list[dict[str, StructurePorts]]:
+        """Per-window StructurePorts tables (empty windows included).
+
+        The final partial window is normalized by its actual length so a
+        short tail does not read as artificially calm.
+        """
+        names = list(structures) if structures is not None else sorted(self._ports)
+        n_windows = max(1, -(-total_cycles // self.window))
+        out = []
+        for w in range(n_windows):
+            span = min(self.window, total_cycles - w * self.window) or self.window
+            counts = self._windows.get(w, _WindowCounts())
+            table = {}
+            for name in names:
+                nread, nwrite = self._ports.get(name, (1, 1))
+                table[name] = StructurePorts(
+                    name=name,
+                    pavf_r=min(1.0, counts.ace_reads.get(name, 0) / (span * nread)),
+                    pavf_w=min(1.0, counts.ace_writes.get(name, 0) / (span * nwrite)),
+                    avf=None,
+                )
+            out.append(table)
+        return out
+
+
+def quantized_seq_avf(
+    closed_form,
+    window_tables: list[dict[str, StructurePorts]],
+) -> list[float]:
+    """Sequential-AVF time series via closed-form plug-in per window."""
+    from repro.core.report import average_seq_avf
+
+    return [
+        average_seq_avf(closed_form.evaluate(table)) for table in window_tables
+    ]

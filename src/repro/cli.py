@@ -1,0 +1,285 @@
+"""Command-line interface: ``repro-sart`` / ``python -m repro``.
+
+Subcommands:
+
+``analyze``
+    Run SART on an EXLIF netlist with structure pAVFs from a simple
+    ``name pavf_r pavf_w [avf]`` text file; prints the per-FUB report.
+``tinycore``
+    Run the tinycore flow for one benchmark program end to end (ACE ports
+    -> SART -> report), optionally with an SFI comparison.
+``bigcore``
+    Generate bigcore, run the workload suite through the ACE model and
+    SART, and print the Figure 9 style report.
+``sweep``
+    Loop-boundary pAVF sweep (the Figure 8 study) on bigcore.
+``export``
+    Write a built-in design (tinycore with a program, or bigcore) as
+    EXLIF or structural Verilog for external tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.graphmodel import StructurePorts
+from repro.core.sart import SartConfig, run_sart
+
+
+def _load_ports(path: str) -> dict[str, StructurePorts]:
+    ports: dict[str, StructurePorts] = {}
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) not in (3, 4):
+                raise SystemExit(f"{path}:{lineno}: expected 'name pavf_r pavf_w [avf]'")
+            name = fields[0]
+            avf = float(fields[3]) if len(fields) == 4 else None
+            ports[name] = StructurePorts(
+                name=name, pavf_r=float(fields[1]), pavf_w=float(fields[2]), avf=avf
+            )
+    return ports
+
+
+def _config_from_args(args) -> SartConfig:
+    return SartConfig(
+        loop_pavf=args.loop_pavf,
+        partition_by_fub=not args.monolithic,
+        iterations=args.iterations,
+        engine=args.engine,
+    )
+
+
+def cmd_analyze(args) -> int:
+    from repro.netlist.exlif import parse_exlif
+    from repro.netlist.flatten import flatten
+
+    with open(args.netlist) as handle:
+        modules = parse_exlif(handle.read())
+    if args.top:
+        top = modules[args.top]
+    else:
+        top = next(iter(modules.values()))
+    flat = flatten(top, modules)
+    ports = _load_ports(args.ports) if args.ports else None
+    result = run_sart(flat, ports, _config_from_args(args))
+    print(result.report.table())
+    _print_stats(result)
+    _maybe_export(result, args)
+    return 0
+
+
+def cmd_tinycore(args) -> int:
+    from repro.core.report import average_seq_avf
+    from repro.designs.tinycore.archsim import tinycore_structure_ports
+    from repro.designs.tinycore.core import build_tinycore
+    from repro.designs.tinycore.harness import run_gate_level
+    from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
+
+    if args.program not in PROGRAMS:
+        raise SystemExit(f"unknown program {args.program!r}; have {sorted(PROGRAMS)}")
+    words, dmem = program(args.program), default_dmem(args.program)
+    netlist = build_tinycore(words, dmem)
+    golden = run_gate_level(words, dmem, netlist=netlist)
+    ports, trace, _ = tinycore_structure_ports(
+        args.program, words, dmem, gate_cycles=golden.cycles
+    )
+    print(f"{args.program}: {golden.cycles} cycles, ACE fraction {trace.ace_fraction():.2f}")
+    for name, p in sorted(ports.items()):
+        print(f"  structure {name:6s} pAVF_R={p.pavf_r:.3f} pAVF_W={p.pavf_w:.3f} AVF={p.avf:.3f}")
+    result = run_sart(netlist.module, ports, _config_from_args(args))
+    print(result.report.table())
+    _print_stats(result)
+    _maybe_export(result, args)
+    print(f"average sequential AVF: {average_seq_avf(result.node_avfs):.4f}")
+
+    if args.sfi:
+        from repro.netlist.graph import extract_graph
+        from repro.sfi import overall_avf, plan_campaign, run_sfi_campaign
+
+        seqs = extract_graph(netlist.module).seq_nets()
+        plans = plan_campaign(seqs, golden.cycles - 2, args.sfi, seed=1)
+        campaign = run_sfi_campaign(words, dmem, plans, netlist=netlist)
+        avf, (lo, hi) = overall_avf(campaign.outcomes)
+        print(
+            f"SFI ({args.sfi} injections): AVF={avf:.3f} [{lo:.3f},{hi:.3f}] "
+            f"counts={campaign.counts()} in {campaign.elapsed_seconds:.1f}s"
+        )
+    return 0
+
+
+def cmd_bigcore(args) -> int:
+    from repro.ace.portavf import suite_ports
+    from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
+    from repro.workloads import default_suite
+
+    design = build_bigcore(BigcoreConfig(scale=args.scale, seed=args.seed))
+    print(f"bigcore: {design.seq_count()} sequentials, {len(design.array_names())} arrays")
+    traces = default_suite(per_class=args.workloads_per_class, length=args.workload_length)
+    print(f"running {len(traces)} workloads through the ACE model...")
+    model_ports, results = suite_ports(traces)
+    from repro.ace.report import structure_table
+
+    print(structure_table(results))
+    ports = map_structure_ports(design, model_ports)
+    result = run_sart(design.module, ports, _config_from_args(args))
+    print(result.report.table())
+    _print_stats(result)
+    _maybe_export(result, args)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.ace.portavf import suite_ports
+    from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
+    from repro.workloads import default_suite
+
+    design = build_bigcore(BigcoreConfig(scale=args.scale, seed=args.seed))
+    traces = default_suite(per_class=2, length=args.workload_length)
+    model_ports, _ = suite_ports(traces)
+    ports = map_structure_ports(design, model_ports)
+    print("loop_pavf  avg_seq_avf")
+    for i in range(args.points):
+        value = i / (args.points - 1) if args.points > 1 else 0.0
+        config = SartConfig(loop_pavf=value, partition_by_fub=False)
+        result = run_sart(design.module, ports, config)
+        print(f"{value:9.2f}  {result.report.weighted_seq_avf:.4f}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    if args.design == "tinycore":
+        from repro.designs.tinycore.core import build_tinycore
+        from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
+
+        name = args.program or "fib"
+        if name not in PROGRAMS:
+            raise SystemExit(f"unknown program {name!r}")
+        module = build_tinycore(program(name), default_dmem(name),
+                                parity=args.parity).module
+    else:
+        from repro.designs.bigcore import BigcoreConfig, build_bigcore
+
+        module = build_bigcore(BigcoreConfig(scale=args.scale, seed=args.seed)).module
+
+    if args.format == "exlif":
+        from repro.netlist.exlif import write_exlif
+
+        text = write_exlif(module)
+    else:
+        from repro.netlist.verilog import write_verilog
+
+        text, _names = write_verilog(module)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.design} as {args.format} to {args.output} "
+          f"({len(module.instances)} instances)")
+    return 0
+
+
+def _maybe_export(result, args) -> None:
+    from repro.core.export import fub_report_csv, node_avfs_csv, summary_json
+
+    if getattr(args, "export_csv", None):
+        with open(args.export_csv, "w") as handle:
+            handle.write(node_avfs_csv(result))
+        print(f"wrote per-node AVFs to {args.export_csv}")
+    if getattr(args, "export_fubs", None):
+        with open(args.export_fubs, "w") as handle:
+            handle.write(fub_report_csv(result))
+        print(f"wrote per-FUB report to {args.export_fubs}")
+    if getattr(args, "export_json", None):
+        with open(args.export_json, "w") as handle:
+            handle.write(summary_json(result))
+        print(f"wrote summary to {args.export_json}")
+
+
+def _print_stats(result) -> None:
+    s = result.stats
+    print(
+        f"nodes={int(s['nodes'])} sequentials={int(s['sequentials'])} "
+        f"loops={int(s['loop_bits'])} ctrl={int(s['ctrl_bits'])} "
+        f"visited={s['visited_fraction']:.1%} elapsed={result.elapsed_seconds:.2f}s"
+    )
+    if result.trace is not None:
+        print(
+            f"relaxation: {result.trace.iterations} iterations, "
+            f"converged={result.trace.converged}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sart",
+        description="Sequential AVF computation (MICRO-48 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--loop-pavf", type=float, default=0.3,
+                       help="injected loop-boundary pAVF (paper: 0.3)")
+        p.add_argument("--iterations", type=int, default=20,
+                       help="relaxation iteration budget (paper: 20)")
+        p.add_argument("--monolithic", action="store_true",
+                       help="solve the whole graph at once instead of per FUB")
+        p.add_argument("--engine", choices=("dataflow", "walk"), default="dataflow")
+        p.add_argument("--export-csv", metavar="PATH",
+                       help="write per-node AVFs as CSV")
+        p.add_argument("--export-fubs", metavar="PATH",
+                       help="write the per-FUB report as CSV")
+        p.add_argument("--export-json", metavar="PATH",
+                       help="write a JSON run summary")
+
+    p = sub.add_parser("analyze", help="run SART on an EXLIF netlist")
+    p.add_argument("netlist", help="EXLIF file")
+    p.add_argument("--top", help="top module name (default: first in file)")
+    p.add_argument("--ports", help="structure pAVF table (name r w [avf])")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("tinycore", help="full flow on a tinycore benchmark")
+    p.add_argument("program", help="benchmark name (e.g. lattice2d, md5mix)")
+    p.add_argument("--sfi", type=int, default=0, metavar="N",
+                   help="also run an N-injection SFI campaign")
+    common(p)
+    p.set_defaults(func=cmd_tinycore)
+
+    p = sub.add_parser("bigcore", help="full flow on the synthetic big core")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--workloads-per-class", type=int, default=2)
+    p.add_argument("--workload-length", type=int, default=4000)
+    common(p)
+    p.set_defaults(func=cmd_bigcore)
+
+    p = sub.add_parser("export", help="write a built-in design as EXLIF/Verilog")
+    p.add_argument("design", choices=("tinycore", "bigcore"))
+    p.add_argument("output", help="output file path")
+    p.add_argument("--format", choices=("exlif", "verilog"), default="exlif")
+    p.add_argument("--program", help="tinycore program to bake into the ROM")
+    p.add_argument("--parity", action="store_true",
+                   help="build the parity-protected tinycore variant")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("sweep", help="loop-boundary pAVF sweep (Figure 8)")
+    p.add_argument("--points", type=int, default=11)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--workload-length", type=int, default=3000)
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Configuration control-register identification (paper Sections 4 and 5.1).
+
+"SART attempts to identify configuration control-register bits, usually by
+the RTL name or the driving clock. These bits are assigned a pAVF_R of
+100%. Since writes to these control registers are relatively rare, the
+pAVF_W will approach 0%. As a result, we can omit walks up from these
+write-ports."
+
+Identification here uses, in order:
+
+1. the explicit ``ctrlreg`` instance attribute set by the design,
+2. configurable name patterns (``cfg``/``csr``/``ctrl`` conventions),
+
+mirroring the paper's name-based convention. Driving-clock identification
+has no equivalent in our single-clock substrate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.netlist.graph import NetGraph, NodeKind
+
+DEFAULT_PATTERNS: tuple[str, ...] = (
+    r"(^|[_/])cfg([_/\[]|$)",
+    r"(^|[_/])csr([_/\[]|$)",
+    r"(^|[_/])ctrlreg([_/\[]|$)",
+)
+
+
+def find_control_registers(
+    graph: NetGraph,
+    patterns: Iterable[str] = DEFAULT_PATTERNS,
+    exclude: Iterable[str] = (),
+) -> set[str]:
+    """Nets of sequential nodes identified as control-register bits.
+
+    *exclude* removes nets already claimed by another role (e.g. structure
+    bits — a latch array named ``cfg_table`` stays a structure).
+    """
+    compiled = [re.compile(p) for p in patterns]
+    excluded = set(exclude)
+    found: set[str] = set()
+    for node in graph.nodes.values():
+        if node.kind != NodeKind.SEQ or node.net in excluded:
+            continue
+        if node.attrs.get("ctrlreg"):
+            found.add(node.net)
+            continue
+        subject = f"{node.inst or ''} {node.net}"
+        if any(rx.search(subject) for rx in compiled):
+            found.add(node.net)
+    return found

@@ -1,0 +1,227 @@
+"""SART — the Sequential AVF Resolution Tool (paper Section 5).
+
+:func:`run_sart` executes the paper's flow end to end against a flattened
+netlist (or a pre-extracted node graph):
+
+1. extract the node graph,
+2. detect loops (Section 4.3) and control registers (Section 5.1),
+3. map ACE-structure bits onto RTL bits and build the annotated model,
+4. bind the ACE-model port AVFs plus the injected values into a
+   :class:`~repro.core.pavf.PavfEnv`,
+5. propagate — monolithically, per-FUB with relaxation, or with the
+   faithful walk engine — and
+6. resolve ``AVF = MIN(forward, backward)`` per node and aggregate per FUB.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import SartError
+from repro.core import controlregs, loops
+from repro.core.dataflow import solve_backward, solve_forward
+from repro.core.graphmodel import AvfModel, StructurePorts, build_model
+from repro.core.pavf import (
+    BOUNDARY,
+    CONST,
+    CTRL,
+    LOOP,
+    Atom,
+    PavfEnv,
+    TOP_SET,
+)
+from repro.core.relaxation import RelaxationTrace, relax
+from repro.core.report import DesignReport, fub_report
+from repro.core.resolve import NodeAvf, resolve
+from repro.core.symbolic import ClosedForm, atom_value
+from repro.core.walker import WalkEngine, fill_unvisited
+from repro.netlist.graph import NetGraph, NodeKind, extract_graph
+from repro.netlist.netlist import Module
+
+ENGINE_DATAFLOW = "dataflow"
+ENGINE_WALK = "walk"
+
+
+@dataclass
+class SartConfig:
+    """Knobs of the SART flow. Defaults follow the paper's choices."""
+
+    # Injected static pAVF at loop boundaries (0.3 after the Fig. 8 sweep,
+    # the paper's solution 3). Per-node measured values (solution 2, see
+    # repro.core.loopchar) may override the static value individually.
+    loop_pavf: float = 0.3
+    loop_pavf_per_net: dict[str, float] | None = None
+    # Control registers: pAVF_R "of 100%".
+    ctrl_pavf: float = 1.0
+    # Tie cells (conservative static source).
+    const_pavf: float = 1.0
+    # RTL-boundary pseudo-structure port values ("circuits that lie
+    # outside of the RTL being analyzed are grouped together into one or
+    # more pseudo-structures, with [their] own pAVF_R and pAVF_W values").
+    # The two scalars are the defaults; per-port overrides refine them.
+    boundary_in_pavf: float = 1.0
+    boundary_out_pavf: float = 1.0
+    boundary_overrides: dict[str, float] | None = None
+    # Partitioned relaxation (Section 5.2) vs one monolithic solve.
+    partition_by_fub: bool = True
+    iterations: int = 20
+    tol: float = 1e-9
+    # Propagation engine: fast fixpoint or faithful walks.
+    engine: str = ENGINE_DATAFLOW
+    walker_rounds: int = 100
+    # 0 keeps exact symbolic sets (closed-form capable); >0 collapses
+    # oversized sets to TOP as a memory guard.
+    max_terms: int = 0
+    # "unace" resolves never-consumed nodes to AVF 0; "top" keeps 1.0.
+    dangling: str = "unace"
+    # Control-register identification.
+    detect_ctrl: bool = True
+    ctrl_patterns: tuple[str, ...] = controlregs.DEFAULT_PATTERNS
+    # Put port traffic atoms on MEM address/enable nets.
+    port_traffic_on_addresses: bool = True
+
+
+@dataclass
+class SartResult:
+    """Everything a SART run produces."""
+
+    node_avfs: dict[str, NodeAvf]
+    report: DesignReport
+    model: AvfModel
+    env: PavfEnv
+    f_sets: dict[str, frozenset[Atom]]
+    b_sets: dict[str, frozenset[Atom]]
+    config: SartConfig
+    trace: RelaxationTrace | None = None
+    walker_rounds_used: int = 0
+    elapsed_seconds: float = 0.0
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def closed_form(self) -> ClosedForm:
+        """Closed-form equations for workload re-evaluation (Section 5.2)."""
+        return ClosedForm(
+            model=self.model, f_sets=self.f_sets, b_sets=self.b_sets, base_env=self.env
+        )
+
+    def avf(self, net: str) -> float:
+        return self.node_avfs[net].avf
+
+
+def build_env(model: AvfModel, config: SartConfig) -> PavfEnv:
+    """Bind structure atoms and injected values into an environment."""
+    env = PavfEnv(unbound_default=1.0)
+    env.bind_kind(LOOP, config.loop_pavf)
+    env.bind_kind(CTRL, config.ctrl_pavf)
+    env.bind_kind(CONST, config.const_pavf)
+    if config.loop_pavf_per_net:
+        for net, value in config.loop_pavf_per_net.items():
+            env.bind(Atom(LOOP, net), value)
+    for atom, (role, sname, bit) in model.atom_bindings.items():
+        ports = model.structures.get(sname)
+        if ports is None:
+            continue
+        env.bind(atom, atom_value(ports, role, bit))
+    overrides = config.boundary_overrides or {}
+    for net in model.graph.nodes:
+        node = model.graph.nodes[net]
+        if node.kind == NodeKind.INPUT:
+            env.bind(Atom(BOUNDARY, net), overrides.get(net, config.boundary_in_pavf))
+    for net in model.graph.outputs:
+        env.bind(Atom(BOUNDARY, net), overrides.get(net, config.boundary_out_pavf))
+    return env
+
+
+def run_sart(
+    design: Module | NetGraph,
+    structures: Mapping[str, StructurePorts] | None = None,
+    config: SartConfig | None = None,
+    *,
+    extra_struct_bits: Mapping[str, tuple[str, int]] | None = None,
+) -> SartResult:
+    """Run the full SART flow and return per-node sequential AVFs."""
+    config = config or SartConfig()
+    started = time.perf_counter()
+
+    graph = design if isinstance(design, NetGraph) else extract_graph(design)
+
+    # Structure bits and control registers terminate walks, so cycles
+    # passing through them are not propagation loops — identify them
+    # before loop classification.
+    struct_nets = {
+        net
+        for net, node in graph.nodes.items()
+        if node.kind == NodeKind.SEQ and "struct" in node.attrs
+    }
+    if extra_struct_bits:
+        struct_nets.update(extra_struct_bits)
+    ctrl_nets = (
+        controlregs.find_control_registers(graph, patterns=config.ctrl_patterns)
+        if config.detect_ctrl
+        else set()
+    )
+    loop_nets = loops.find_loop_nets(graph, cut=struct_nets | ctrl_nets)
+
+    model = build_model(
+        graph,
+        structures,
+        loop_nets=loop_nets,
+        ctrl_nets=ctrl_nets,
+        port_traffic_on_addresses=config.port_traffic_on_addresses,
+        extra_struct_bits=extra_struct_bits,
+    )
+    env = build_env(model, config)
+
+    trace: RelaxationTrace | None = None
+    walker_rounds_used = 0
+    if config.engine == ENGINE_WALK:
+        engine = WalkEngine(model, env, max_rounds=config.walker_rounds)
+        f_sets = fill_unvisited(engine.run_forward(), graph.nodes)
+        b_sets = fill_unvisited(engine.run_backward(), graph.nodes)
+        walker_rounds_used = engine.rounds_used
+    elif config.engine == ENGINE_DATAFLOW:
+        if config.partition_by_fub and len(graph.nets_by_fub()) > 1:
+            result = relax(
+                model,
+                env,
+                iterations=config.iterations,
+                tol=config.tol,
+                max_terms=config.max_terms,
+                dangling=config.dangling,
+            )
+            f_sets, b_sets, trace = result.f_sets, result.b_sets, result.trace
+        else:
+            f_sets = solve_forward(model, max_terms=config.max_terms)
+            b_sets = solve_backward(
+                model, max_terms=config.max_terms, dangling=config.dangling
+            )
+    else:
+        raise SartError(f"unknown engine {config.engine!r}")
+
+    node_avfs = resolve(model, f_sets, b_sets, env)
+    report = fub_report(
+        node_avfs, loop_bits=len(model.loop_nets), ctrl_bits=len(model.ctrl_nets)
+    )
+    elapsed = time.perf_counter() - started
+    stats = {
+        "nodes": float(len(graph.nodes)),
+        "sequentials": float(len(graph.seq_nets())),
+        "loop_bits": float(len(model.loop_nets)),
+        "ctrl_bits": float(len(model.ctrl_nets)),
+        "structure_bits": float(len(model.struct_nodes)),
+        "visited_fraction": report.visited_fraction,
+    }
+    return SartResult(
+        node_avfs=node_avfs,
+        report=report,
+        model=model,
+        env=env,
+        f_sets=f_sets,
+        b_sets=b_sets,
+        config=config,
+        trace=trace,
+        walker_rounds_used=walker_rounds_used,
+        elapsed_seconds=elapsed,
+        stats=stats,
+    )

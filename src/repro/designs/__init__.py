@@ -1,0 +1,11 @@
+"""Reference designs analyzed by the tool flow.
+
+* :mod:`repro.designs.tinycore` — a complete gate-level 16-bit pipelined
+  CPU, small enough for statistical fault injection and simulated beam
+  testing, used as ground truth for the accuracy and correlation
+  experiments.
+* :mod:`repro.designs.bigcore` — a parameterized synthetic multi-FUB
+  netlist with the structural statistics of a large core (pipelines,
+  joins, splits, FSM loops, control registers, latch arrays), used for
+  the scale experiments (Figures 8 and 9, convergence).
+"""

@@ -1,0 +1,16 @@
+"""bigcore: a parameterized synthetic multi-FUB design.
+
+A generator that produces netlists with the *structural statistics* of a
+large out-of-order core — a dozen-plus FUBs of pipelines, joins, splits,
+FSM loops (a few percent of sequentials, like the paper's 2-3 %),
+configuration control registers, and ACE-structure latch arrays — without
+pretending to be functionally meaningful logic. SART consumes topology
+and structure pAVFs only, so this is exactly the substrate the scale
+experiments need (Figure 8's loop sweep, Figure 9's per-FUB AVFs, the
+convergence study, and the closed-form re-evaluation benchmark).
+"""
+
+from repro.designs.bigcore.core import BigcoreConfig, BigcoreDesign, build_bigcore
+from repro.designs.bigcore.mapping import map_structure_ports
+
+__all__ = ["BigcoreConfig", "BigcoreDesign", "build_bigcore", "map_structure_ports"]

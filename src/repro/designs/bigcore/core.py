@@ -1,0 +1,135 @@
+"""Whole-core assembly of synthetic FUBs.
+
+Fourteen FUB templates approximate the block structure of a large OoO
+core front end / back end / memory subsystem. FUBs are wired in a
+pipeline-with-feedback pattern: each FUB's inputs come from the previous
+two FUBs' outputs (plus a top-level input bundle for the first), and a
+few late FUBs feed back to early ones so that cross-partition relaxation
+genuinely needs multiple iterations to converge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.designs.bigcore.fubs import FubResult, FubTemplate, generate_fub
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.netlist import Module
+from repro.netlist.validate import validate_module
+
+# Template set: (relative sizing tuned so scale=1.0 gives ~7k sequentials).
+_TEMPLATES: tuple[FubTemplate, ...] = (
+    FubTemplate("IFU", arrays=2, array_width=32, fabric_flops=420, ctrl_regs=10,
+                fsms=2, structure_kind="fetch_buffer"),
+    FubTemplate("BPU", arrays=2, array_width=24, fabric_flops=380, ctrl_regs=8,
+                fsms=3, structure_kind="fetch_buffer"),
+    FubTemplate("IDU", arrays=3, array_width=28, fabric_flops=520, ctrl_regs=12,
+                fsms=2, structure_kind="inst_queue"),
+    FubTemplate("RAT", arrays=2, array_width=20, fabric_flops=360, ctrl_regs=6,
+                fsms=2, structure_kind="inst_queue"),
+    FubTemplate("RSV", arrays=3, array_width=36, fabric_flops=560, ctrl_regs=8,
+                fsms=3, structure_kind="inst_queue"),
+    FubTemplate("IEU0", arrays=2, array_width=32, fabric_flops=480, ctrl_regs=6,
+                fsms=1, structure_kind="regfile"),
+    FubTemplate("IEU1", arrays=2, array_width=32, fabric_flops=480, ctrl_regs=6,
+                fsms=1, structure_kind="regfile"),
+    FubTemplate("FPU", arrays=2, array_width=40, fabric_flops=540, ctrl_regs=8,
+                fsms=1, structure_kind="regfile"),
+    FubTemplate("AGU", arrays=2, array_width=24, fabric_flops=340, ctrl_regs=4,
+                fsms=2, structure_kind="load_queue"),
+    FubTemplate("LSU", arrays=3, array_width=28, fabric_flops=520, ctrl_regs=8,
+                fsms=3, structure_kind="load_queue"),
+    FubTemplate("DCU", arrays=3, array_width=32, fabric_flops=540, ctrl_regs=10,
+                fsms=2, structure_kind="store_buffer"),
+    FubTemplate("ROB", arrays=3, array_width=36, fabric_flops=560, ctrl_regs=6,
+                fsms=3, structure_kind="rob"),
+    FubTemplate("RET", arrays=2, array_width=24, fabric_flops=360, ctrl_regs=6,
+                fsms=2, structure_kind="rob"),
+    FubTemplate("MSU", arrays=1, array_width=16, fabric_flops=280, ctrl_regs=24,
+                fsms=2, structure_kind="store_buffer"),
+)
+
+
+@dataclass(frozen=True)
+class BigcoreConfig:
+    """Generator parameters."""
+
+    seed: int = 42
+    scale: float = 1.0         # multiplies fabric size and array width
+    fub_count: int | None = None  # use only the first N templates
+    feedback_fubs: int = 3     # how many late FUBs feed back to early ones
+
+
+@dataclass
+class BigcoreDesign:
+    """The generated design plus its inventory."""
+
+    module: Module
+    fubs: list[FubResult]
+    config: BigcoreConfig
+    structure_kinds: dict[str, str] = field(default_factory=dict)  # array -> perf-model kind
+
+    def array_names(self) -> list[str]:
+        return [name for fub in self.fubs for name, _w in fub.arrays]
+
+    def seq_count(self) -> int:
+        return sum(f.seq_count for f in self.fubs)
+
+
+def build_bigcore(config: BigcoreConfig | None = None) -> BigcoreDesign:
+    """Generate the synthetic core (deterministic per config)."""
+    config = config or BigcoreConfig()
+    rng = random.Random(config.seed)
+    templates = _TEMPLATES[: config.fub_count] if config.fub_count else _TEMPLATES
+    templates = [_scaled(t, config.scale) for t in templates]
+
+    b = ModuleBuilder("bigcore")
+    # Top-level stimulus bundle (the RTL boundary pseudo-structure).
+    top_in = b.input_bus("core_in", templates[0].inputs)
+
+    results: list[FubResult] = []
+    kinds: dict[str, str] = {}
+    available: list[str] = list(top_in)
+    for idx, template in enumerate(templates):
+        sources = list(available)
+        rng.shuffle(sources)
+        result = generate_fub(b, template, rng, sources)
+        results.append(result)
+        for name, _w in result.arrays:
+            kinds[name] = template.structure_kind
+        # Next FUB consumes this one's outputs plus some of the previous.
+        available = list(result.output_ports)
+        if idx >= 1:
+            available += results[idx - 1].output_ports[: template.inputs // 2]
+
+    # Feedback: wire a few late-FUB outputs back into early FUBs through
+    # staging flops (creates cross-partition cycles for the relaxation).
+    for k in range(min(config.feedback_fubs, len(results) - 1)):
+        late = results[-(k + 1)]
+        early = results[k]
+        at = {"fub": early.name}
+        for i, net in enumerate(late.output_ports[:4]):
+            b.dff(net, name=f"{early.name}/fb{k}_{i}", attrs=at)
+
+    # Expose the last FUB's outputs as primary outputs.
+    for i, net in enumerate(results[-1].output_ports):
+        port = f"core_out[{i}]"
+        b.output(port)
+        b.gate("BUF", [net], out=port, attrs={"fub": results[-1].name})
+
+    module = b.done()
+    validate_module(module)
+    return BigcoreDesign(module=module, fubs=results, config=config, structure_kinds=kinds)
+
+
+def _scaled(template: FubTemplate, scale: float) -> FubTemplate:
+    if scale == 1.0:
+        return template
+    return replace(
+        template,
+        fabric_flops=max(20, int(template.fabric_flops * scale)),
+        array_width=max(4, int(template.array_width * min(scale, 2.0))),
+        ctrl_regs=max(2, int(template.ctrl_regs * min(scale, 2.0))),
+        fsms=max(1, int(template.fsms * min(scale, 2.0))),
+    )

@@ -1,0 +1,177 @@
+"""Per-FUB synthetic fabric generation.
+
+Each FUB is generated from a :class:`FubTemplate` into a shared builder:
+
+* **latch arrays** — rows of DFFs tagged ``struct``/``bit``; their Q bits
+  source the fabric (read ports) and their D bits sink it (write ports);
+* **control registers** — DFFs named ``cfg_*`` (picked up by the
+  control-register detector), rarely-written configuration state;
+* **FSM loops** — small feedback state machines (counters with enables
+  and cross-coupled state) that SCC detection must find;
+* **random fabric** — layers of gates and pipeline flops connecting
+  sources to sinks with seeded joins and splits.
+
+The generator guarantees structural legality (every net driven exactly
+once, no combinational cycles) by only ever consuming nets that already
+exist when a gate is created; feedback goes through DFF D-pins declared
+up front.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netlist.builder import ModuleBuilder
+
+
+@dataclass(frozen=True)
+class FubTemplate:
+    """Size knobs of one synthetic FUB."""
+
+    name: str
+    arrays: int = 2              # latch arrays (ACE structures)
+    array_width: int = 24
+    fabric_flops: int = 400      # pipeline/staging flops
+    fabric_layers: int = 8
+    fsms: int = 2                # feedback loops
+    fsm_bits: int = 4
+    ctrl_regs: int = 12
+    inputs: int = 24             # FUBIO in
+    outputs: int = 24            # FUBIO out
+    join_fraction: float = 0.35  # gate inputs drawn from two sources
+    structure_kind: str = "queue"  # which perf-model structure it maps to
+
+
+@dataclass
+class FubResult:
+    """What one generated FUB exposes."""
+
+    name: str
+    arrays: list[tuple[str, int]]   # (structure name, width)
+    input_ports: list[str]
+    output_ports: list[str]
+    seq_count: int
+    loop_bits: int
+
+
+def generate_fub(
+    b: ModuleBuilder,
+    template: FubTemplate,
+    rng: random.Random,
+    external_inputs: list[str],
+) -> FubResult:
+    """Emit one FUB into *b*; returns its interface and inventory.
+
+    *external_inputs* are nets from other FUBs (or top-level inputs) wired
+    to this FUB's input side.
+    """
+    fub = template.name
+    at = {"fub": fub}
+    seq_count = 0
+    loop_bits = 0
+
+    # ------------------------------------------------------------------
+    # sources pool: external inputs enter through input staging flops
+    # ------------------------------------------------------------------
+    pool: list[str] = []
+    for i, net in enumerate(external_inputs[: template.inputs]):
+        staged = b.dff(net, name=f"{fub}/in_stage[{i}]", attrs=at)
+        pool.append(staged)
+        seq_count += 1
+
+    # ------------------------------------------------------------------
+    # control registers (cfg_* naming convention; written from the fabric
+    # via a gated path so they have a driver but near-zero write traffic)
+    # ------------------------------------------------------------------
+    ctrl_outs: list[str] = []
+    for i in range(template.ctrl_regs):
+        src = rng.choice(pool) if pool else b.const0(attrs=at)
+        q = b.dff(src, name=f"{fub}/cfg_reg[{i}]", attrs=at)
+        ctrl_outs.append(q)
+        seq_count += 1
+    pool.extend(ctrl_outs)
+
+    # ------------------------------------------------------------------
+    # FSM loops: cross-coupled state bits (pointer/stall style loops)
+    # ------------------------------------------------------------------
+    for k in range(template.fsms):
+        state = [f"{fub}/fsm{k}_s[{i}]" for i in range(template.fsm_bits)]
+        for net in state:
+            b.module.add_net(net)
+        stim = rng.choice(pool) if pool else b.const0(attrs=at)
+        for i in range(template.fsm_bits):
+            other = state[(i + 1) % template.fsm_bits]
+            nxt = b.xor_(state[i], other, attrs=at)
+            gated = b.and_(nxt, stim, attrs=at) if i % 2 == 0 else nxt
+            b.dff(gated, q=state[i], name=f"{fub}/fsm{k}_r[{i}]", attrs=at)
+            seq_count += 1
+            loop_bits += 1
+        pool.extend(state)
+
+    # ------------------------------------------------------------------
+    # latch arrays: declare D nets up front, Q bits join the pool
+    # ------------------------------------------------------------------
+    arrays: list[tuple[str, int]] = []
+    array_sinks: list[str] = []
+    for a in range(template.arrays):
+        sname = f"{fub}.arr{a}"
+        arrays.append((sname, template.array_width))
+        for bit in range(template.array_width):
+            d_net = f"{fub}/arr{a}_d[{bit}]"
+            b.module.add_net(d_net)
+            q = b.dff(
+                d_net,
+                name=f"{fub}/arr{a}_q[{bit}]",
+                attrs={"fub": fub, "struct": sname, "bit": str(bit)},
+            )
+            pool.append(q)
+            array_sinks.append(d_net)
+            seq_count += 1
+
+    # ------------------------------------------------------------------
+    # random fabric: layered gates + staging flops
+    # ------------------------------------------------------------------
+    flops_left = template.fabric_flops
+    per_layer = max(1, template.fabric_flops // max(1, template.fabric_layers))
+    for layer in range(template.fabric_layers):
+        new_nets: list[str] = []
+        for j in range(per_layer):
+            if flops_left <= 0:
+                break
+            a_net = rng.choice(pool)
+            if rng.random() < template.join_fraction:
+                b_net = rng.choice(pool)
+                kind = rng.choice(("AND", "OR", "XOR", "NAND", "NOR"))
+                gated = b.gate(kind, [a_net, b_net], attrs=at)
+            else:
+                gated = b.gate(rng.choice(("BUF", "NOT")), [a_net], attrs=at)
+            q = b.dff(gated, name=f"{fub}/p{layer}_{j}", attrs=at)
+            new_nets.append(q)
+            seq_count += 1
+            flops_left -= 1
+        pool.extend(new_nets)
+
+    # ------------------------------------------------------------------
+    # sinks: every array D bit and every output port driven from the pool
+    # ------------------------------------------------------------------
+    for d_net in array_sinks:
+        src = rng.choice(pool)
+        other = rng.choice(pool)
+        b.gate("AND", [src, other], out=d_net, attrs=at)
+
+    output_ports: list[str] = []
+    for i in range(template.outputs):
+        net = f"{fub}/out[{i}]"
+        src = rng.choice(pool)
+        b.gate("BUF", [src], out=net, attrs=at)
+        output_ports.append(net)
+
+    return FubResult(
+        name=fub,
+        arrays=arrays,
+        input_ports=list(external_inputs[: template.inputs]),
+        output_ports=output_ports,
+        seq_count=seq_count,
+        loop_bits=loop_bits,
+    )

@@ -1,0 +1,32 @@
+"""tinycore: a 16-bit, 5-stage pipelined CPU built from the cell library.
+
+The core executes real programs (written in the mini assembly of
+:mod:`repro.designs.tinycore.assembler`) on the gate-level simulator. It
+has everything that makes sequential AVF interesting: pipeline latches,
+a bypass network (joins and splits), a hazard/stall unit (loops), a PC
+update loop, and three ACE structures (register file, data memory,
+instruction ROM) that the SART flow treats as pAVF sources/sinks.
+
+Architectural observation points — the output port and architectural
+state — give SFI and the simulated beam test their SDC definition.
+"""
+
+from repro.designs.tinycore.isa import OPCODES, decode, encode
+from repro.designs.tinycore.assembler import assemble
+from repro.designs.tinycore.core import TinycoreNetlist, build_tinycore
+from repro.designs.tinycore.archsim import ArchSim, run_program, trace_from_program
+from repro.designs.tinycore.harness import GateLevelRun, run_gate_level
+
+__all__ = [
+    "ArchSim",
+    "GateLevelRun",
+    "OPCODES",
+    "TinycoreNetlist",
+    "assemble",
+    "build_tinycore",
+    "decode",
+    "encode",
+    "run_gate_level",
+    "run_program",
+    "trace_from_program",
+]

@@ -1,0 +1,149 @@
+"""Two-pass assembler for the tinycore mini assembly.
+
+Syntax::
+
+    ; comment
+    label:
+        LDI  r1, 42
+        ADDI r2, r1, 3
+        ADD  r3, r1, r2
+        SHL  r4, r3          ; sugar for SHIFT with mode 0
+        LD   r5, r1, 4       ; r5 = mem[r1 + 4]
+        ST   r5, r1, 4       ; mem[r1 + 4] = r5
+        BEQ  r1, r2, label   ; PC-relative, resolved by the assembler
+        JMP  label
+        OUT  r3
+        HALT
+
+Registers are ``r0`` .. ``r7``; ``r0`` always reads zero. ``.word N``
+emits a raw data word (rarely needed — data lives in data memory).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.designs.tinycore.isa import (
+    IMEM_DEPTH,
+    SHIFT_ROL,
+    SHIFT_SHL,
+    SHIFT_SHR,
+    encode,
+)
+
+_SUGAR_SHIFTS = {"SHL": SHIFT_SHL, "SHR": SHIFT_SHR, "ROL": SHIFT_ROL}
+
+
+def assemble(source: str) -> list[int]:
+    """Assemble *source* into a list of 16-bit instruction words."""
+    lines = _clean(source)
+    labels = _collect_labels(lines)
+    words: list[int] = []
+    for pc, (lineno, text) in enumerate(lines):
+        try:
+            words.append(_encode_line(text, pc, labels))
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+    if len(words) > IMEM_DEPTH:
+        raise AssemblerError(f"program too large: {len(words)} words > {IMEM_DEPTH}")
+    return words
+
+
+def _clean(source: str) -> list[tuple[int, str]]:
+    """Strip comments/blanks; keep (line number, text) including labels."""
+    out = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        if text:
+            out.append((lineno, text))
+    return out
+
+
+def _collect_labels(lines: list[tuple[int, str]]) -> dict[str, int]:
+    """First pass: label -> instruction index; labels removed in place."""
+    labels: dict[str, int] = {}
+    cleaned: list[tuple[int, str]] = []
+    for lineno, text in lines:
+        while ":" in text:
+            label, _, rest = text.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(cleaned)
+            text = rest.strip()
+            if not text:
+                break
+        if text:
+            cleaned.append((lineno, text))
+    lines[:] = cleaned
+    return labels
+
+
+def _reg(token: str) -> int:
+    token = token.strip().lower()
+    if len(token) == 2 and token[0] == "r" and token[1].isdigit():
+        n = int(token[1])
+        if 0 <= n <= 7:
+            return n
+    raise AssemblerError(f"bad register {token!r}")
+
+
+def _value(token: str, pc: int, labels: dict[str, int], relative: bool) -> int:
+    token = token.strip()
+    if token in labels:
+        target = labels[token]
+        return target - (pc + 1) if relative else target
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad immediate or unknown label {token!r}") from exc
+
+
+def _encode_line(text: str, pc: int, labels: dict[str, int]) -> int:
+    parts = text.replace(",", " ").split()
+    mnem = parts[0].upper()
+    args = parts[1:]
+
+    if mnem == ".WORD":
+        return _value(args[0], pc, labels, relative=False) & 0xFFFF
+    if mnem in ("ADD", "SUB", "AND", "OR", "XOR"):
+        _arity(mnem, args, 3)
+        return encode(mnem, rd=_reg(args[0]), rs=_reg(args[1]), rt=_reg(args[2]))
+    if mnem in _SUGAR_SHIFTS:
+        _arity(mnem, args, 2)
+        return encode("SHIFT", rd=_reg(args[0]), rs=_reg(args[1]), rt=_SUGAR_SHIFTS[mnem])
+    if mnem == "ADDI":
+        _arity(mnem, args, 3)
+        return encode(mnem, rd=_reg(args[0]), rs=_reg(args[1]),
+                      imm=_value(args[2], pc, labels, False))
+    if mnem == "LDI":
+        _arity(mnem, args, 2)
+        return encode(mnem, rd=_reg(args[0]), imm=_value(args[1], pc, labels, False))
+    if mnem == "LD":
+        _arity(mnem, args, 3)
+        return encode(mnem, rd=_reg(args[0]), rs=_reg(args[1]),
+                      imm=_value(args[2], pc, labels, False))
+    if mnem == "ST":
+        _arity(mnem, args, 3)
+        return encode(mnem, rt=_reg(args[0]), rs=_reg(args[1]),
+                      imm=_value(args[2], pc, labels, False))
+    if mnem in ("BEQ", "BNE"):
+        _arity(mnem, args, 3)
+        return encode(mnem, rs=_reg(args[0]), rt=_reg(args[1]),
+                      imm=_value(args[2], pc, labels, relative=True))
+    if mnem == "JMP":
+        _arity(mnem, args, 1)
+        return encode(mnem, imm=_value(args[0], pc, labels, False))
+    if mnem == "OUT":
+        _arity(mnem, args, 1)
+        return encode(mnem, rs=_reg(args[0]))
+    if mnem in ("HALT", "NOP"):
+        _arity(mnem, args, 0)
+        return encode(mnem)
+    raise AssemblerError(f"unknown mnemonic {mnem!r}")
+
+
+def _arity(mnem: str, args: list[str], expected: int) -> None:
+    if len(args) != expected:
+        raise AssemblerError(f"{mnem} expects {expected} operands, got {len(args)}")

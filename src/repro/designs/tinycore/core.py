@@ -1,0 +1,413 @@
+"""Gate-level tinycore: a 5-stage pipelined 16-bit CPU.
+
+Stages: IF (fetch), DE (decode + register read + bypass), EX (ALU +
+branch resolve), ME (data memory + output port), WB (register write).
+Structurally it contains every topology the paper's methodology handles:
+
+* simple pipelines — the stage latches;
+* logical joins — bypass muxes, the ALU result mux, the PC redirect mux;
+* distribution splits — the decoded fields fanning into control and data;
+* loops — the PC update loop, the stall hold loops on IF/DE, and the
+  sticky ``halted`` flag (all found automatically by SCC detection);
+* ACE structures — register file (``rf``), data memory (``dmem``) and
+  instruction ROM (``irom``), tagged with ``struct`` attributes so SART
+  maps port AVFs onto them (paper step 4).
+
+Hazards: EX/ME/WB -> DE bypass network; one-cycle load-use stall;
+two-cycle taken-branch flush (branches resolve in EX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.designs.tinycore.isa import DMEM_DEPTH, IMEM_DEPTH, OPCODES, PC_BITS
+from repro.errors import NetlistError
+from repro.netlist import wordlib as wl
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.netlist import Module
+from repro.netlist.validate import validate_module
+
+WORD = 16
+NOP_WORD = OPCODES["NOP"] << 12
+
+
+def _parity_of(word: int) -> int:
+    return bin(word & 0xFFFF).count("1") & 1
+
+
+@dataclass
+class TinycoreNetlist:
+    """The built core plus the net names the harness needs."""
+
+    module: Module
+    out_val: list[str]
+    out_valid: str
+    halted: str
+    pc: list[str]
+    due: str | None = None  # DUE detection output (parity variant only)
+    # Structure instance names for mapping/diagnostics.
+    rf_inst: str = "u_rf"
+    dmem_inst: str = "u_dmem"
+    irom_inst: str = "u_irom"
+
+
+def build_tinycore(
+    program: list[int], dmem_init: list[int] | None = None, *, parity: bool = False
+) -> TinycoreNetlist:
+    """Build the flattened tinycore netlist with *program* in its ROM.
+
+    ``parity=True`` builds the protected variant: the register file and
+    data memory store an extra even-parity bit, checked on every read;
+    a mismatch sets the sticky ``due_o`` output. This is the DUE
+    (detected uncorrectable error) observability point of paper
+    Section 3.1 — faults in protected arrays are *detected* rather than
+    silently corrupting data.
+    """
+    if len(program) > IMEM_DEPTH:
+        raise NetlistError(f"program too large ({len(program)} words)")
+    b = ModuleBuilder("tinycore")
+
+    def fub(name: str) -> dict[str, str]:
+        return {"fub": name}
+
+    zero = b.const0(attrs=fub("IF"))
+    one = b.const1(attrs=fub("IF"))
+    z16 = [zero] * WORD
+
+    # ==================================================================
+    # Cross-stage nets declared up front (feedback / bypass paths).
+    # ==================================================================
+    m = b.module
+    predeclared = {}
+    for name, width in [
+        ("stall", 1), ("ex_taken", 1), ("halted_q", 1),
+        ("redirect", PC_BITS), ("ex_result", WORD),
+        ("me_value", WORD), ("wb_value", WORD),
+        ("ex_rd", 3), ("me_rd", 3), ("wb_rd", 3),
+        ("ex_valid", 1), ("me_valid", 1), ("wb_valid", 1),
+        ("ex_wreg", 1), ("me_wreg", 1), ("wb_wreg", 1),
+        ("ex_is_ld", 1),
+    ]:
+        nets = [f"{name}[{i}]" for i in range(width)] if width > 1 else [name]
+        for net in nets:
+            m.add_net(net)
+        predeclared[name] = nets if width > 1 else nets[0]
+
+    stall = predeclared["stall"]
+    ex_taken = predeclared["ex_taken"]
+    halted_q = predeclared["halted_q"]
+    redirect = predeclared["redirect"]
+    ex_result = predeclared["ex_result"]
+    me_value = predeclared["me_value"]
+    wb_value = predeclared["wb_value"]
+
+    # ==================================================================
+    # IF: program counter, instruction ROM
+    # ==================================================================
+    atIF = fub("IF")
+    b.default_attrs = dict(atIF)
+    pc_nets = [f"pc[{i}]" for i in range(PC_BITS)]
+    for net in pc_nets:
+        m.add_net(net)
+    pc1 = wl.increment(b, pc_nets)
+    pc_redirected = wl.word_mux2(b, pc1, redirect, ex_taken)
+    hold = b.or_(stall, halted_q, attrs=atIF)
+    pc_next = wl.word_mux2(b, pc_redirected, pc_nets, hold)
+    for i in range(PC_BITS):
+        b.dff(pc_next[i], q=pc_nets[i], name=f"pc_r[{i}]", attrs=atIF)
+
+    irom_init = list(program) + [NOP_WORD] * (IMEM_DEPTH - len(program))
+    wen0 = zero
+    instr_f = b.mem(
+        IMEM_DEPTH, WORD, [pc_nets], [zero] * PC_BITS, z16, wen0,
+        name="u_irom", init=irom_init, attrs={"fub": "IF", "struct": "irom"},
+    )[0]
+
+    # IF/DE latch: holds on stall; squashed on taken branch.
+    en_if = b.not_(stall, attrs=atIF)
+    atDE = fub("DE")
+    b.default_attrs = dict(atDE)
+    d_instr = b.dff_bus(instr_f, en=en_if, name="d_instr", attrs=atDE)
+    d_pc1 = b.dff_bus(pc1, en=en_if, name="d_pc1", attrs=atDE)
+    fetch_ok = b.nor_(ex_taken, halted_q, attrs=atIF)
+    d_valid = b.dff(fetch_ok, en=en_if, name="d_valid", attrs=atDE)
+
+    # ==================================================================
+    # DE: decode, register read, bypass, hazard detection
+    # ==================================================================
+    op = d_instr[12:16]
+    f_rd = d_instr[9:12]
+    f_rs = d_instr[6:9]
+    f_rt = d_instr[3:6]
+
+    def is_op(name: str) -> str:
+        return wl.word_eq_const(b, op, OPCODES[name])
+
+    is_add = is_op("ADD"); is_sub = is_op("SUB"); is_and = is_op("AND")
+    is_or = is_op("OR"); is_xor = is_op("XOR"); is_shift = is_op("SHIFT")
+    is_addi = is_op("ADDI"); is_ldi = is_op("LDI"); is_ld = is_op("LD")
+    is_st = is_op("ST"); is_beq = is_op("BEQ"); is_bne = is_op("BNE")
+    is_jmp = is_op("JMP"); is_out = is_op("OUT"); is_halt = is_op("HALT")
+
+    is_rrr = b.or_(is_add, is_sub, is_and, is_or, is_xor, attrs=atDE)
+    is_br = b.or_(is_beq, is_bne, attrs=atDE)
+    # Port A register: BEQ/BNE/OUT encode their first register in [11:9].
+    a_hi = b.or_(is_br, is_out, attrs=atDE)
+    raddr_a = wl.word_mux2(b, f_rs, f_rd, a_hi)
+    # Port B register: branches use [8:6]; ST's data register is [11:9].
+    raddr_b = wl.word_mux2(b, wl.word_mux2(b, f_rt, f_rd, is_st), f_rs, is_br)
+
+    # Register file (2R1W): written from WB below. In the parity
+    # variant a 17th even-parity bit is stored and checked on read.
+    rf_wen = b.and_(predeclared["wb_valid"], predeclared["wb_wreg"], attrs=fub("WB"))
+    rf_width = WORD + 1 if parity else WORD
+    rf_wdata = list(wb_value)
+    if parity:
+        rf_wdata = rf_wdata + [wl.parity(b, wb_value)]
+    rf_rdata = b.mem(
+        8, rf_width, [raddr_a, raddr_b], predeclared["wb_rd"], rf_wdata, rf_wen,
+        name="u_rf", attrs={"fub": "DE", "struct": "rf"},
+    )
+    va_raw, vb_raw = rf_rdata[0][:WORD], rf_rdata[1][:WORD]
+    parity_errors: list[str] = []
+    if parity:
+        # Even parity: the XOR over data+parity bits is 0 when intact.
+        parity_errors.append(b.xor_(*rf_rdata[0], attrs=atDE))
+        parity_errors.append(b.xor_(*rf_rdata[1], attrs=atDE))
+
+    # Bypass network: priority EX (ALU results only) > ME > WB > RF.
+    def bypass(raddr: list[str], raw: list[str]) -> list[str]:
+        ex_hit = b.and_(
+            predeclared["ex_valid"], predeclared["ex_wreg"],
+            b.not_(predeclared["ex_is_ld"], attrs=atDE),
+            wl.word_eq(b, raddr, predeclared["ex_rd"]), attrs=atDE,
+        )
+        me_hit = b.and_(
+            predeclared["me_valid"], predeclared["me_wreg"],
+            wl.word_eq(b, raddr, predeclared["me_rd"]), attrs=atDE,
+        )
+        wb_hit = b.and_(
+            predeclared["wb_valid"], predeclared["wb_wreg"],
+            wl.word_eq(b, raddr, predeclared["wb_rd"]), attrs=atDE,
+        )
+        value = wl.word_mux2(b, raw, wb_value, wb_hit)
+        value = wl.word_mux2(b, value, me_value, me_hit)
+        value = wl.word_mux2(b, value, ex_result, ex_hit)
+        return value
+
+    va = bypass(raddr_a, va_raw)
+    vb_reg = bypass(raddr_b, vb_raw)
+
+    # Immediates.
+    imm6 = d_instr[0:6] + [zero] * 10
+    imm8 = d_instr[0:8] + [zero] * 8
+    use_imm6 = b.or_(is_addi, is_ld, is_st, attrs=atDE)
+    imm_ext = wl.word_mux2(b, imm8, imm6, use_imm6)
+    use_imm = b.or_(use_imm6, is_ldi, attrs=atDE)
+    vb = wl.word_mux2(b, vb_reg, imm_ext, use_imm)
+
+    # Branch offset (6-bit signed -> PC_BITS) and jump target.
+    sign = d_instr[5]
+    broff = d_instr[0:6] + [sign] * (PC_BITS - 6)
+    jt = d_instr[0:PC_BITS]
+
+    # Hazard: load-use stall (consumer in DE, load in EX).
+    atCT = fub("CTRL")
+    b.default_attrs = dict(atCT)
+    reads_a = b.or_(is_rrr, is_shift, is_addi, is_ld, is_st, is_br, is_out, attrs=atCT)
+    reads_b = b.or_(is_rrr, is_st, is_br, attrs=atCT)
+    conflict_a = b.and_(reads_a, wl.word_eq(b, raddr_a, predeclared["ex_rd"]), attrs=atCT)
+    conflict_b = b.and_(reads_b, wl.word_eq(b, raddr_b, predeclared["ex_rd"]), attrs=atCT)
+    b.gate(
+        "AND",
+        [d_valid, predeclared["ex_valid"], predeclared["ex_is_ld"],
+         predeclared["ex_wreg"], b.or_(conflict_a, conflict_b, attrs=atCT)],
+        out=stall, attrs=atCT,
+    )
+
+    # Destination-write control: rd != 0 for writer ops.
+    b.default_attrs = dict(atDE)
+    writes = b.or_(is_rrr, is_shift, is_addi, is_ldi, is_ld, attrs=atDE)
+    rd_nonzero = b.or_(*f_rd, attrs=atDE)
+    de_wreg = b.and_(writes, rd_nonzero, attrs=atDE)
+
+    # ==================================================================
+    # DE/EX latch (bubble on stall or taken branch)
+    # ==================================================================
+    atEX = fub("EX")
+    b.default_attrs = dict(atEX)
+    issue = b.and_(
+        d_valid, b.not_(stall, attrs=atDE), b.not_(ex_taken, attrs=atDE),
+        b.not_(halted_q, attrs=atDE), attrs=atDE,
+    )
+    b.dff(issue, q=predeclared["ex_valid"], name="ex_valid_r", attrs=atEX)
+
+    def exlatch(sig, name):
+        if isinstance(sig, list):
+            return b.dff_bus(sig, name=name, attrs=atEX)
+        return b.dff(sig, name=name, attrs=atEX)
+
+    # ALU op one-hots (LD/ST/LDI routed onto adder / pass-B).
+    alu_add = b.or_(is_add, is_addi, is_ld, is_st, attrs=atDE)
+    ex_add = exlatch(alu_add, "ex_add")
+    ex_sub = exlatch(is_sub, "ex_sub")
+    ex_and = exlatch(is_and, "ex_and")
+    ex_or = exlatch(is_or, "ex_or")
+    ex_xor = exlatch(is_xor, "ex_xor")
+    ex_shift = exlatch(is_shift, "ex_shift")
+    ex_passb = exlatch(is_ldi, "ex_passb")
+    ex_shmode = exlatch(f_rt, "ex_shmode")
+
+    b.dff(is_ld, q=predeclared["ex_is_ld"], name="ex_is_ld_r", attrs=atEX)
+    ex_is_st = exlatch(is_st, "ex_is_st")
+    ex_is_beq = exlatch(is_beq, "ex_is_beq")
+    ex_is_bne = exlatch(is_bne, "ex_is_bne")
+    ex_is_jmp = exlatch(is_jmp, "ex_is_jmp")
+    ex_is_out = exlatch(is_out, "ex_is_out")
+    ex_is_halt = exlatch(is_halt, "ex_is_halt")
+    b.dff(de_wreg, q=predeclared["ex_wreg"], name="ex_wreg_r", attrs=atEX)
+    for i in range(3):
+        b.dff(f_rd[i], q=predeclared["ex_rd"][i], name=f"ex_rd_r[{i}]", attrs=atEX)
+    ex_va = exlatch(va, "ex_va")
+    ex_vb = exlatch(vb, "ex_vb")
+    ex_st_data = exlatch(vb_reg, "ex_st_data")
+    ex_pc1 = exlatch(d_pc1, "ex_pc1")
+    ex_broff = exlatch(broff, "ex_broff")
+    ex_jt = exlatch(jt, "ex_jt")
+
+    # ==================================================================
+    # EX: ALU, branch resolution, PC redirect
+    # ==================================================================
+    add_out, _ = wl.ripple_add(b, ex_va, ex_vb)
+    sub_out, _ = wl.ripple_sub(b, ex_va, ex_vb)
+    and_out = wl.word_and(b, ex_va, ex_vb)
+    or_out = wl.word_or(b, ex_va, ex_vb)
+    xor_out = wl.word_xor(b, ex_va, ex_vb)
+    shl_out = wl.shift_left_const(b, ex_va, 1)
+    shr_out = wl.shift_right_const(b, ex_va, 1)
+    rol_out = wl.rotate_left_const(b, ex_va, 1)
+    sh_mode0 = wl.word_eq_const(b, ex_shmode, 0)
+    sh_mode1 = wl.word_eq_const(b, ex_shmode, 1)
+    shift_out = wl.word_mux2(b, rol_out, shr_out, sh_mode1)
+    shift_out = wl.word_mux2(b, shift_out, shl_out, sh_mode0)
+
+    for i in range(WORD):
+        terms = [
+            b.and_(ex_add, add_out[i], attrs=atEX),
+            b.and_(ex_sub, sub_out[i], attrs=atEX),
+            b.and_(ex_and, and_out[i], attrs=atEX),
+            b.and_(ex_or, or_out[i], attrs=atEX),
+            b.and_(ex_xor, xor_out[i], attrs=atEX),
+            b.and_(ex_shift, shift_out[i], attrs=atEX),
+            b.and_(ex_passb, ex_vb[i], attrs=atEX),
+        ]
+        b.gate("OR", terms, out=ex_result[i], attrs=atEX)
+
+    eq = wl.word_eq(b, ex_va, ex_vb)
+    taken_beq = b.and_(ex_is_beq, eq, attrs=atEX)
+    taken_bne = b.and_(ex_is_bne, b.not_(eq, attrs=atEX), attrs=atEX)
+    b.gate(
+        "AND",
+        [predeclared["ex_valid"], b.or_(taken_beq, taken_bne, ex_is_jmp, attrs=atEX)],
+        out=ex_taken, attrs=atEX,
+    )
+    btarget, _ = wl.ripple_add(b, ex_pc1, ex_broff)
+    rtarget = wl.word_mux2(b, btarget, ex_jt, ex_is_jmp)
+    for i in range(PC_BITS):
+        b.gate("BUF", [rtarget[i]], out=redirect[i], attrs=atEX)
+
+    # ==================================================================
+    # EX/ME latch
+    # ==================================================================
+    atME = fub("ME")
+    b.default_attrs = dict(atME)
+    b.dff(predeclared["ex_valid"], q=predeclared["me_valid"], name="me_valid_r", attrs=atME)
+    me_result = b.dff_bus(ex_result, name="me_result", attrs=atME)
+    me_is_ld = b.dff(predeclared["ex_is_ld"], name="me_is_ld", attrs=atME)
+    me_is_st = b.dff(ex_is_st, name="me_is_st", attrs=atME)
+    me_is_out = b.dff(ex_is_out, name="me_is_out", attrs=atME)
+    me_is_halt = b.dff(ex_is_halt, name="me_is_halt", attrs=atME)
+    b.dff(predeclared["ex_wreg"], q=predeclared["me_wreg"], name="me_wreg_r", attrs=atME)
+    for i in range(3):
+        b.dff(predeclared["ex_rd"][i], q=predeclared["me_rd"][i], name=f"me_rd_r[{i}]", attrs=atME)
+    me_st_data = b.dff_bus(ex_st_data, name="me_st_data", attrs=atME)
+    me_va = b.dff_bus(ex_va, name="me_va", attrs=atME)
+
+    # ==================================================================
+    # ME: data memory, output port, halt flag
+    # ==================================================================
+    dmem_addr = me_result[0:8]
+    dmem_wen = b.and_(predeclared["me_valid"], me_is_st, attrs=atME)
+    dmem_width = WORD + 1 if parity else WORD
+    dmem_wdata = list(me_st_data)
+    dmem_image = list(dmem_init or [])
+    if parity:
+        dmem_wdata = dmem_wdata + [wl.parity(b, me_st_data)]
+        # The preloaded image must carry correct parity bits too.
+        dmem_image = [w | (_parity_of(w) << WORD) for w in dmem_image]
+    dmem_rdata = b.mem(
+        DMEM_DEPTH, dmem_width, [dmem_addr], dmem_addr, dmem_wdata, dmem_wen,
+        name="u_dmem", init=dmem_image, attrs={"fub": "ME", "struct": "dmem"},
+    )[0]
+    if parity:
+        # Only loads consume data memory; qualify the check accordingly.
+        dmem_err = b.and_(
+            predeclared["me_valid"], me_is_ld,
+            b.xor_(*dmem_rdata, attrs=atME), attrs=atME,
+        )
+        parity_errors.append(dmem_err)
+    for i in range(WORD):
+        b.gate("BUF", [b.mux2(me_result[i], dmem_rdata[i], me_is_ld, attrs=atME)],
+               out=me_value[i], attrs=atME)
+
+    do_out = b.and_(predeclared["me_valid"], me_is_out, attrs=atME)
+    out_val = b.dff_bus(me_va, en=do_out, name="out_val", attrs=atME)
+    out_valid = b.dff(do_out, name="out_valid", attrs=atME)
+    do_halt = b.and_(predeclared["me_valid"], me_is_halt, attrs=atME)
+    b.dff(b.or_(halted_q, do_halt, attrs=atME), q=halted_q, name="halted_r", attrs=atME)
+
+    due_q = None
+    if parity:
+        m.add_net("due_q")
+        due_q = "due_q"
+        b.dff(b.or_(due_q, *parity_errors, attrs=atME), q=due_q,
+              name="due_r", attrs=atME)
+
+    # ==================================================================
+    # ME/WB latch + WB
+    # ==================================================================
+    atWB = fub("WB")
+    b.default_attrs = dict(atWB)
+    b.dff(predeclared["me_valid"], q=predeclared["wb_valid"], name="wb_valid_r", attrs=atWB)
+    for i in range(WORD):
+        b.dff(me_value[i], q=wb_value[i], name=f"wb_value_r[{i}]", attrs=atWB)
+    b.dff(predeclared["me_wreg"], q=predeclared["wb_wreg"], name="wb_wreg_r", attrs=atWB)
+    for i in range(3):
+        b.dff(predeclared["me_rd"][i], q=predeclared["wb_rd"][i], name=f"wb_rd_r[{i}]", attrs=atWB)
+
+    # ==================================================================
+    # Primary outputs (architectural observation points)
+    # ==================================================================
+    b.default_attrs = dict(atME)
+    for i in range(WORD):
+        b.output(f"out_val_o[{i}]")
+        b.gate("BUF", [out_val[i]], out=f"out_val_o[{i}]", attrs=atME)
+    b.output("out_valid_o")
+    b.gate("BUF", [out_valid], out="out_valid_o", attrs=atME)
+    b.output("halted_o")
+    b.gate("BUF", [halted_q], out="halted_o", attrs=atME)
+    if parity:
+        b.output("due_o")
+        b.gate("BUF", [due_q], out="due_o", attrs=atME)
+
+    module = b.done()
+    validate_module(module)
+    return TinycoreNetlist(
+        module=module,
+        out_val=[f"out_val_o[{i}]" for i in range(WORD)],
+        out_valid="out_valid_o",
+        halted="halted_o",
+        pc=pc_nets,
+        due="due_o" if parity else None,
+    )

@@ -1,0 +1,138 @@
+"""tinycore ISA: 16-bit instructions, 8 registers (r0 reads as zero).
+
+Encoding (bit 15 is the MSB)::
+
+    ADD/SUB/AND/OR/XOR  op[15:12] rd[11:9] rs[8:6] rt[5:3] 000
+    SHIFT               op[15:12] rd[11:9] rs[8:6] mode[5:3] 000
+                        mode: 0=SHL1 1=SHR1 2=ROL1
+    ADDI                op[15:12] rd[11:9] rs[8:6] imm6[5:0] (unsigned)
+    LDI                 op[15:12] rd[11:9] 0 imm8[7:0]
+    LD                  op[15:12] rd[11:9] rs[8:6] imm6[5:0]  rd = mem[rs+imm6]
+    ST                  op[15:12] rt[11:9] rs[8:6] imm6[5:0]  mem[rs+imm6] = rt
+    BEQ/BNE             op[15:12] rs[11:9] rt[8:6] off6[5:0]  (signed, PC-relative)
+    JMP                 op[15:12] addr12[11:0]
+    OUT                 op[15:12] rs[11:9] 0...
+    HALT/NOP            op[15:12] 0...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+
+WORD = 16
+NREGS = 8
+PC_BITS = 10
+IMEM_DEPTH = 1 << PC_BITS
+DMEM_DEPTH = 256
+
+OPCODES = {
+    "ADD": 0x0,
+    "SUB": 0x1,
+    "AND": 0x2,
+    "OR": 0x3,
+    "XOR": 0x4,
+    "SHIFT": 0x5,
+    "ADDI": 0x6,
+    "LDI": 0x7,
+    "LD": 0x8,
+    "ST": 0x9,
+    "BEQ": 0xA,
+    "BNE": 0xB,
+    "JMP": 0xC,
+    "OUT": 0xD,
+    "HALT": 0xE,
+    "NOP": 0xF,
+}
+
+SHIFT_SHL = 0
+SHIFT_SHR = 1
+SHIFT_ROL = 2
+
+_RRR = ("ADD", "SUB", "AND", "OR", "XOR")
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction (field view of a 16-bit word)."""
+
+    op: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+
+    def writes_reg(self) -> bool:
+        return self.op in _RRR + ("SHIFT", "ADDI", "LDI", "LD") and self.rd != 0
+
+    def reads(self) -> tuple[int, ...]:
+        if self.op in _RRR:
+            return (self.rs, self.rt)
+        if self.op in ("SHIFT", "ADDI", "LD"):
+            return (self.rs,)
+        if self.op == "ST":
+            return (self.rs, self.rt)
+        if self.op in ("BEQ", "BNE"):
+            return (self.rs, self.rt)
+        if self.op == "OUT":
+            return (self.rs,)
+        return ()
+
+
+def encode(op: str, rd: int = 0, rs: int = 0, rt: int = 0, imm: int = 0) -> int:
+    """Encode one instruction to its 16-bit word."""
+    if op not in OPCODES:
+        raise AssemblerError(f"unknown opcode {op!r}")
+    code = OPCODES[op] << 12
+    if op in _RRR or op == "SHIFT":
+        return code | (rd << 9) | (rs << 6) | (rt << 3)
+    if op in ("ADDI", "LD"):
+        _check_unsigned(imm, 6, op)
+        return code | (rd << 9) | (rs << 6) | imm
+    if op == "ST":
+        _check_unsigned(imm, 6, op)
+        return code | (rt << 9) | (rs << 6) | imm
+    if op == "LDI":
+        _check_unsigned(imm, 8, op)
+        return code | (rd << 9) | imm
+    if op in ("BEQ", "BNE"):
+        if not -32 <= imm <= 31:
+            raise AssemblerError(f"{op}: branch offset {imm} out of range")
+        return code | (rs << 9) | (rt << 6) | (imm & 0x3F)
+    if op == "JMP":
+        _check_unsigned(imm, 12, op)
+        return code | imm
+    if op == "OUT":
+        return code | (rs << 9)
+    return code  # HALT / NOP
+
+
+def decode(word: int) -> Decoded:
+    """Decode a 16-bit word back into fields."""
+    opcode = (word >> 12) & 0xF
+    names = {v: k for k, v in OPCODES.items()}
+    op = names[opcode]
+    if op in _RRR or op == "SHIFT":
+        return Decoded(op, rd=(word >> 9) & 7, rs=(word >> 6) & 7, rt=(word >> 3) & 7)
+    if op in ("ADDI", "LD"):
+        return Decoded(op, rd=(word >> 9) & 7, rs=(word >> 6) & 7, imm=word & 0x3F)
+    if op == "ST":
+        return Decoded(op, rt=(word >> 9) & 7, rs=(word >> 6) & 7, imm=word & 0x3F)
+    if op == "LDI":
+        return Decoded(op, rd=(word >> 9) & 7, imm=word & 0xFF)
+    if op in ("BEQ", "BNE"):
+        imm = word & 0x3F
+        if imm >= 32:
+            imm -= 64
+        return Decoded(op, rs=(word >> 9) & 7, rt=(word >> 6) & 7, imm=imm)
+    if op == "JMP":
+        return Decoded(op, imm=word & 0xFFF)
+    if op == "OUT":
+        return Decoded(op, rs=(word >> 9) & 7)
+    return Decoded(op)
+
+
+def _check_unsigned(value: int, bits: int, op: str) -> None:
+    if not 0 <= value < (1 << bits):
+        raise AssemblerError(f"{op}: immediate {value} does not fit in {bits} bits")

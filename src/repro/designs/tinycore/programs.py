@@ -1,0 +1,390 @@
+"""tinycore benchmark programs.
+
+``lattice2d`` and ``md5mix`` are the stand-ins for the paper's two
+beam-tested workloads (Section 6.2): Lattice ("calculates the location of
+a particle in a [2d] lattice with inter-particle forces") and MD5Sum
+(modified to "do all the same calculations" without true memory-bound
+hashing). The rest broaden the workload pool for the accuracy
+experiments.
+
+Each entry is assembly text; :func:`program` assembles by name and
+:func:`all_programs` returns every (name, words) pair.
+"""
+
+from __future__ import annotations
+
+from repro.designs.tinycore.assembler import assemble
+
+PROGRAMS: dict[str, str] = {}
+
+
+def _register(name: str, source: str) -> None:
+    PROGRAMS[name] = source
+
+
+# ----------------------------------------------------------------------
+# lattice2d: particles on an 8x8 grid, repelled by a force from a fixed
+# attractor; position updates wrap around. Outputs particle cells.
+# ----------------------------------------------------------------------
+_register("lattice2d", """
+        LDI  r1, 16         ; number of particles
+        LDI  r2, 0          ; particle index
+        LDI  r6, 63         ; grid mask (8x8 - 1)
+loop:
+        ; position = mem[base + i]
+        LD   r3, r2, 0      ; r3 = pos[i]
+        ; force = (pos * 5 + i) & mask
+        SHL  r4, r3         ; r4 = pos*2
+        SHL  r4, r4         ; r4 = pos*4
+        ADD  r4, r4, r3     ; r4 = pos*5
+        ADD  r4, r4, r2     ; + index
+        AND  r4, r4, r6     ; wrap to grid
+        ; pos' = (pos + force) & mask
+        ADD  r3, r3, r4
+        AND  r3, r3, r6
+        ST   r3, r2, 0      ; pos[i] = pos'
+        OUT  r3
+        ADDI r2, r2, 1
+        BNE  r2, r1, loop
+        ; second sweep: accumulate potential
+        LDI  r2, 0
+        LDI  r5, 0
+sweep:
+        LD   r3, r2, 0
+        XOR  r5, r5, r3
+        ADD  r5, r5, r2
+        ADDI r2, r2, 1
+        BNE  r2, r1, sweep
+        OUT  r5
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# md5mix: MD5-like mixing rounds on four state registers — adds, XORs,
+# rotates, round "constants" — with memory traffic removed, as in the
+# paper's modified MD5Sum.
+# ----------------------------------------------------------------------
+_register("md5mix", """
+        LDI  r1, 0x67       ; a
+        LDI  r2, 0xEF       ; b
+        LDI  r3, 0x98       ; c
+        LDI  r4, 0x10       ; d
+        LDI  r5, 24         ; rounds
+        LDI  r6, 0          ; round counter
+round:
+        ; a = rol(a + (b ^ c) + k) where k varies with the round
+        XOR  r7, r2, r3
+        ADD  r1, r1, r7
+        ADD  r1, r1, r6
+        ROL  r1, r1
+        ; d = rol(d + (a | b))
+        OR   r7, r1, r2
+        ADD  r4, r4, r7
+        ROL  r4, r4
+        ; rotate state (a,b,c,d) <- (d,a,b,c)
+        XOR  r7, r1, r4
+        ADD  r2, r2, r7
+        ROL  r2, r2
+        XOR  r3, r3, r2
+        OUT  r1
+        ADDI r6, r6, 1
+        BNE  r6, r5, round
+        OUT  r2
+        OUT  r3
+        OUT  r4
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# matmul: 3x3 integer matrix multiply out of data memory.
+# A at 0..8, B at 9..17, C at 32..40 (row-major), computed by repeated
+# addition (no MUL instruction).
+# ----------------------------------------------------------------------
+_register("matmul", """
+        LDI  r1, 0          ; i
+iloop:  LDI  r2, 0          ; j
+jloop:  LDI  r5, 0          ; acc
+        LDI  r3, 0          ; k
+kloop:
+        ; addr(A[i][k]) = i*3 + k
+        SHL  r6, r1
+        ADD  r6, r6, r1     ; i*3
+        ADD  r6, r6, r3
+        LD   r6, r6, 0      ; A[i][k]
+        ; addr(B[k][j]) = 9 + k*3 + j
+        SHL  r7, r3
+        ADD  r7, r7, r3
+        ADD  r7, r7, r2
+        LD   r7, r7, 9      ; B[k][j]
+        ; acc += A * B by repeated addition of r7, r6 times
+mul:    BEQ  r6, r0, mulend
+        ADD  r5, r5, r7
+        LDI  r4, 1
+        SUB  r6, r6, r4
+        JMP  mul
+mulend:
+        ADDI r3, r3, 1
+        LDI  r4, 3
+        BNE  r3, r4, kloop
+        ; C[i][j] = acc at 32 + i*3 + j
+        SHL  r6, r1
+        ADD  r6, r6, r1
+        ADD  r6, r6, r2
+        ADDI r6, r6, 32
+        ST   r5, r6, 0
+        OUT  r5
+        ADDI r2, r2, 1
+        LDI  r4, 3
+        BNE  r2, r4, jloop
+        ADDI r1, r1, 1
+        LDI  r4, 3
+        BNE  r1, r4, iloop
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# sort: bubble sort 12 words in data memory, then stream them out.
+# ----------------------------------------------------------------------
+_register("sort", """
+        LDI  r1, 11         ; n-1 passes
+        LDI  r2, 0          ; pass
+pass:
+        LDI  r3, 0          ; index
+inner:
+        LD   r4, r3, 0
+        LD   r5, r3, 1
+        ; if r4 <= r5 skip swap: compute r6 = r5 - r4, check sign bit
+        SUB  r6, r5, r4
+        LDI  r7, 0x80
+        SHL  r7, r7         ; r7 = 0x100... build 0x8000
+        SHL  r7, r7
+        SHL  r7, r7
+        SHL  r7, r7
+        SHL  r7, r7
+        SHL  r7, r7
+        SHL  r7, r7
+        SHL  r7, r7
+        AND  r6, r6, r7     ; sign of (r5-r4)
+        BEQ  r6, r0, noswap
+        ST   r5, r3, 0
+        ST   r4, r3, 1
+noswap:
+        ADDI r3, r3, 1
+        BNE  r3, r1, inner
+        ADDI r2, r2, 1
+        BNE  r2, r1, pass
+        LDI  r3, 0
+        LDI  r1, 12
+emit:
+        LD   r4, r3, 0
+        OUT  r4
+        ADDI r3, r3, 1
+        BNE  r3, r1, emit
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# crc16: bitwise CRC over 8 data words (polynomial 0xA001-style via
+# shifts and conditional XOR).
+# ----------------------------------------------------------------------
+_register("crc16", """
+        LDI  r1, 0          ; crc
+        LDI  r2, 0          ; word index
+        LDI  r3, 8          ; words
+wloop:
+        LD   r4, r2, 16     ; data at 16..23
+        XOR  r1, r1, r4
+        LDI  r5, 16         ; bit counter
+bloop:
+        LDI  r6, 1
+        AND  r6, r1, r6     ; lsb
+        SHR  r1, r1
+        BEQ  r6, r0, nobit
+        LDI  r7, 0xA0
+        SHL  r7, r7         ; 0x140
+        SHL  r7, r7         ; 0x280 ... build A001-ish constant
+        ADDI r7, r7, 1
+        XOR  r1, r1, r7
+nobit:
+        ADDI r5, r5, 0
+        LDI  r6, 1
+        SUB  r5, r5, r6
+        BNE  r5, r0, bloop
+        OUT  r1
+        ADDI r2, r2, 1
+        BNE  r2, r3, wloop
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# fib: Fibonacci numbers mod 2^16, streamed out.
+# ----------------------------------------------------------------------
+_register("fib", """
+        LDI  r1, 0
+        LDI  r2, 1
+        LDI  r3, 0
+        LDI  r4, 20
+floop:
+        ADD  r5, r1, r2
+        OUT  r5
+        ADD  r1, r2, r0
+        ADD  r2, r5, r0
+        ADDI r3, r3, 1
+        BNE  r3, r4, floop
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# memcpy: copy 24 words and verify with a running checksum.
+# ----------------------------------------------------------------------
+_register("memcpy", """
+        LDI  r1, 0          ; index
+        LDI  r2, 24         ; count
+        LDI  r5, 0          ; checksum
+cloop:
+        LD   r3, r1, 0
+        ST   r3, r1, 32
+        ADD  r5, r5, r3
+        ADDI r1, r1, 1
+        BNE  r1, r2, cloop
+        LDI  r1, 0
+vloop:
+        LD   r3, r1, 32
+        XOR  r5, r5, r3
+        ADDI r1, r1, 1
+        BNE  r1, r2, vloop
+        OUT  r5
+        HALT
+""")
+
+
+# ----------------------------------------------------------------------
+# gcd: Euclid's algorithm by repeated subtraction over word pairs.
+# ----------------------------------------------------------------------
+_register("gcd", """
+        LDI  r1, 0          ; pair index
+        LDI  r2, 6          ; pairs
+pairs:
+        LD   r3, r1, 0      ; a
+        LD   r4, r1, 8      ; b
+gloop:
+        BEQ  r4, r0, gdone
+        ; if a >= b: a -= b else swap
+        SUB  r5, r3, r4
+        LDI  r6, 0x80
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6         ; r6 = 0x8000
+        AND  r7, r5, r6     ; sign(a-b)
+        BNE  r7, r0, swap
+        ADD  r3, r5, r0     ; a = a-b
+        JMP  gloop
+swap:
+        ADD  r7, r3, r0
+        ADD  r3, r4, r0
+        ADD  r4, r7, r0
+        JMP  gloop
+gdone:
+        OUT  r3
+        ADDI r1, r1, 1
+        BNE  r1, r2, pairs
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# sieve: Eratosthenes over 2..63 using one flag word per number.
+# ----------------------------------------------------------------------
+_register("sieve", """
+        LDI  r1, 2          ; candidate
+        LDI  r2, 64         ; limit (also the flag-array base)
+cand:
+        ADD  r3, r1, r2     ; flag address = 64 + candidate
+        LD   r3, r3, 0
+        BNE  r3, r0, skip   ; already composite
+        OUT  r1             ; r1 is prime
+        ADD  r4, r1, r1     ; first multiple
+mark:
+        SUB  r5, r4, r2     ; r4 - limit
+        LDI  r6, 0x80
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6
+        SHL  r6, r6         ; r6 = 0x8000
+        AND  r5, r5, r6
+        BEQ  r5, r0, skip   ; r4 >= limit: done marking
+        ADD  r5, r4, r2     ; flag address
+        LDI  r6, 1
+        ST   r6, r5, 0
+        ADD  r4, r4, r1
+        JMP  mark
+skip:
+        ADDI r1, r1, 1
+        BNE  r1, r2, cand
+        HALT
+""")
+
+# ----------------------------------------------------------------------
+# histogram: bucket 32 data words into 8 bins and stream the bins.
+# ----------------------------------------------------------------------
+_register("histogram", """
+        LDI  r1, 0          ; index
+        LDI  r2, 32         ; count
+hloop:
+        LD   r3, r1, 0      ; value
+        LDI  r4, 7
+        AND  r3, r3, r4     ; bin = value & 7
+        LD   r5, r3, 40     ; bins at dmem[40..47]
+        ADDI r5, r5, 1
+        ST   r5, r3, 40
+        ADDI r1, r1, 1
+        BNE  r1, r2, hloop
+        LDI  r1, 0
+        LDI  r2, 8
+emit:
+        LD   r3, r1, 40
+        OUT  r3
+        ADDI r1, r1, 1
+        BNE  r1, r2, emit
+        HALT
+""")
+
+
+def program(name: str) -> list[int]:
+    """Assemble one named program."""
+    return assemble(PROGRAMS[name])
+
+
+def default_dmem(name: str) -> list[int]:
+    """Deterministic data-memory image for programs that read memory."""
+    if name == "lattice2d":
+        return [(i * 37 + 11) % 64 for i in range(16)]
+    if name == "matmul":
+        a = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+        bm = [2, 0, 1, 1, 3, 0, 0, 1, 2]
+        return a + bm
+    if name == "sort":
+        return [(i * 73 + 29) % 251 for i in range(12)]
+    if name == "crc16":
+        return [0] * 16 + [(i * 157 + 3) % 65536 for i in range(8)]
+    if name == "memcpy":
+        return [(i * 97 + 5) % 65536 for i in range(24)]
+    if name == "gcd":
+        # pairs: a[] at 0..5, b[] at 8..13
+        return [12, 35, 81, 48, 100, 17, 0, 0, 18, 21, 27, 36, 75, 5]
+    if name == "histogram":
+        return [(i * 41 + 13) % 251 for i in range(32)]
+    return []
+
+
+def all_programs() -> list[tuple[str, list[int], list[int]]]:
+    """Every program as (name, words, dmem image)."""
+    return [(name, program(name), default_dmem(name)) for name in sorted(PROGRAMS)]

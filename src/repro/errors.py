@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad connection, duplicate name...)."""
+
+
+class ExlifParseError(NetlistError):
+    """Malformed EXLIF text input."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(NetlistError):
+    """A netlist failed structural validation (lint)."""
+
+
+class SimulationError(ReproError):
+    """Gate-level simulation could not proceed (e.g. combinational loop)."""
+
+
+class AssemblerError(ReproError):
+    """Error while assembling a tinycore program."""
+
+
+class TraceError(ReproError):
+    """Malformed workload trace for the performance model."""
+
+
+class AceError(ReproError):
+    """Error in ACE analysis (inconsistent events, unknown structure...)."""
+
+
+class SartError(ReproError):
+    """Error in the sequential-AVF resolution flow."""
+
+
+class MappingError(SartError):
+    """ACE-structure bit could not be mapped to an RTL bit."""
+
+
+class ConvergenceError(SartError):
+    """Relaxation failed to converge within the iteration budget."""
+
+
+class CampaignError(ReproError):
+    """Fault-injection campaign misconfiguration."""

@@ -1,0 +1,154 @@
+"""Cell library for the netlist substrate.
+
+Every primitive the simulator and the AVF walker understand is declared
+here. Cells fall into three groups:
+
+* **Combinational gates** — ``BUF``, ``NOT``, and the variadic gates
+  ``AND``/``OR``/``NAND``/``NOR``/``XOR``/``XNOR`` plus ``MUX2``. Variadic
+  gates take input pins ``a0 .. a{n-1}`` and drive pin ``y``.
+* **Sequential** — ``DFF``: a positive-edge flip-flop with an optional
+  enable pin. Pins ``d`` (data), ``en`` (optional enable) and ``q``
+  (output). Parameter ``init`` gives the power-on value. A single implicit
+  clock domain is assumed, as in the paper's one-cycle-latency analysis.
+* **Memory** — ``MEM``: a word-addressed array primitive with asynchronous
+  read ports and one synchronous write port. Arrays are the paper's "ACE
+  structures": they are analyzed by ACE lifetime analysis in the
+  performance model, *not* by the sequential-AVF walker, so modelling them
+  behaviourally (rather than as a sea of flops) is faithful and keeps
+  simulation fast. Pins are bit-blasted: ``raddr{p}_{i}``, ``rdata{p}_{i}``,
+  ``waddr_{i}``, ``wdata_{i}``, ``wen``. Parameters: ``depth``, ``width``,
+  ``nread`` and optional ``init`` (list of words).
+
+Gate evaluation functions are *lane-parallel*: a net value is a Python
+integer whose bit ``k`` is the net's boolean value in simulation lane ``k``.
+This lets one simulation pass carry one golden lane plus dozens of
+fault-injected lanes (see :mod:`repro.rtlsim.simulator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Callable, Sequence
+
+# Names of the variadic combinational gates (pins a0..a{n-1} -> y).
+VARIADIC_GATES = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR")
+
+# Cells whose output does not depend combinationally on any pin.
+SEQUENTIAL_CELLS = ("DFF",)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static description of a primitive cell.
+
+    Attributes:
+        name: Cell type name (upper-case).
+        variadic: True when the cell accepts ``a0..a{n-1}`` inputs.
+        inputs: Fixed input pin names (empty for variadic cells).
+        outputs: Output pin names.
+        is_sequential: True when outputs change only at the clock edge.
+        evaluate: Lane-parallel evaluation ``(inputs, mask) -> output`` for
+            fixed-function combinational cells; ``None`` for DFF/MEM, which
+            the simulator handles specially.
+    """
+
+    name: str
+    variadic: bool
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    is_sequential: bool
+    evaluate: Callable[[Sequence[int], int], int] | None = None
+
+
+def _eval_buf(ins: Sequence[int], mask: int) -> int:
+    return ins[0] & mask
+
+
+def _eval_not(ins: Sequence[int], mask: int) -> int:
+    return ~ins[0] & mask
+
+
+def _eval_and(ins: Sequence[int], mask: int) -> int:
+    return reduce(lambda a, b: a & b, ins) & mask
+
+
+def _eval_or(ins: Sequence[int], mask: int) -> int:
+    return reduce(lambda a, b: a | b, ins) & mask
+
+
+def _eval_nand(ins: Sequence[int], mask: int) -> int:
+    return ~reduce(lambda a, b: a & b, ins) & mask
+
+
+def _eval_nor(ins: Sequence[int], mask: int) -> int:
+    return ~reduce(lambda a, b: a | b, ins) & mask
+
+
+def _eval_xor(ins: Sequence[int], mask: int) -> int:
+    return reduce(lambda a, b: a ^ b, ins) & mask
+
+
+def _eval_xnor(ins: Sequence[int], mask: int) -> int:
+    return ~reduce(lambda a, b: a ^ b, ins) & mask
+
+
+def _eval_mux2(ins: Sequence[int], mask: int) -> int:
+    a, b, s = ins
+    return ((a & ~s) | (b & s)) & mask
+
+
+def _eval_const0(ins: Sequence[int], mask: int) -> int:
+    return 0
+
+
+def _eval_const1(ins: Sequence[int], mask: int) -> int:
+    return mask
+
+
+CELLS: dict[str, CellSpec] = {
+    "BUF": CellSpec("BUF", False, ("a",), ("y",), False, _eval_buf),
+    "NOT": CellSpec("NOT", False, ("a",), ("y",), False, _eval_not),
+    "AND": CellSpec("AND", True, (), ("y",), False, _eval_and),
+    "OR": CellSpec("OR", True, (), ("y",), False, _eval_or),
+    "NAND": CellSpec("NAND", True, (), ("y",), False, _eval_nand),
+    "NOR": CellSpec("NOR", True, (), ("y",), False, _eval_nor),
+    "XOR": CellSpec("XOR", True, (), ("y",), False, _eval_xor),
+    "XNOR": CellSpec("XNOR", True, (), ("y",), False, _eval_xnor),
+    # MUX2: y = a when s=0, b when s=1.
+    "MUX2": CellSpec("MUX2", False, ("a", "b", "s"), ("y",), False, _eval_mux2),
+    "CONST0": CellSpec("CONST0", False, (), ("y",), False, _eval_const0),
+    "CONST1": CellSpec("CONST1", False, (), ("y",), False, _eval_const1),
+    # DFF: q <= (en ? d : q) at the clock edge; en pin optional.
+    "DFF": CellSpec("DFF", False, ("d", "en"), ("q",), True, None),
+    # MEM: bit-blasted pins generated from depth/width/nread parameters.
+    "MEM": CellSpec("MEM", False, (), (), True, None),
+}
+
+
+def is_sequential_cell(kind: str) -> bool:
+    """Return True when *kind* is a primitive whose state crosses cycles."""
+    spec = CELLS.get(kind)
+    return spec is not None and spec.is_sequential
+
+
+def mem_pins(depth: int, width: int, nread: int) -> tuple[list[str], list[str]]:
+    """Return ``(input_pins, output_pins)`` of a MEM instance.
+
+    The address is ``ceil(log2(depth))`` bits wide (minimum one bit).
+    """
+    abits = max(1, (depth - 1).bit_length())
+    inputs: list[str] = []
+    outputs: list[str] = []
+    for port in range(nread):
+        inputs.extend(f"raddr{port}_{i}" for i in range(abits))
+        outputs.extend(f"rdata{port}_{i}" for i in range(width))
+    inputs.extend(f"waddr_{i}" for i in range(abits))
+    inputs.extend(f"wdata_{i}" for i in range(width))
+    inputs.append("wen")
+    return inputs, outputs
+
+
+def mem_addr_bits(depth: int) -> int:
+    """Number of address bits for a MEM of the given depth."""
+    return max(1, (depth - 1).bit_length())

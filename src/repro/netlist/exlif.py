@@ -1,0 +1,190 @@
+"""EXLIF: the textual netlist interchange format.
+
+The paper's flow compiles RTL into "intermediate-format RTL files (called
+EXLIF files)". We define a BLIF-inspired line format that round-trips the
+:class:`~repro.netlist.netlist.Module` model:
+
+.. code-block:: text
+
+    # comment
+    .model ieu
+    .inputs a[0] a[1]
+    .outputs y[0]
+    .gate AND g1 a0=a[0] a1=a[1] y=n$1 @fub=IEU
+    .latch q1 d=n$1 q=y[0] en=stall init=0 @struct=rob @bit=3
+    .mem rf depth=8 width=16 nread=2 wen=we waddr_0=wa0 ... init=0,0,...
+    .subckt adder u_add a=x[0] b=y[0] s=s[0]
+    .end
+
+* Tokens never contain whitespace; ``pin=net`` binds pins, ``@key=value``
+  sets instance attributes, ``key=value`` before ``@`` tokens are pins or
+  parameters depending on the directive.
+* A file may contain several ``.model`` blocks; :func:`parse_exlif`
+  returns them in file order as a name->Module dict.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.errors import ExlifParseError
+from repro.netlist.cells import CELLS
+from repro.netlist.netlist import INPUT, OUTPUT, Instance, Module
+
+_FORMAT_VERSION = "exlif-1"
+
+
+def write_exlif(modules: Module | dict[str, Module] | list[Module]) -> str:
+    """Serialize one or more modules to EXLIF text."""
+    if isinstance(modules, Module):
+        modules = [modules]
+    elif isinstance(modules, dict):
+        modules = list(modules.values())
+    out = io.StringIO()
+    out.write(f"# {_FORMAT_VERSION}\n")
+    for module in modules:
+        _write_module(out, module)
+    return out.getvalue()
+
+
+def _write_module(out: io.StringIO, module: Module) -> None:
+    out.write(f".model {module.name}\n")
+    inputs = module.input_ports()
+    outputs = module.output_ports()
+    if inputs:
+        out.write(".inputs " + " ".join(inputs) + "\n")
+    if outputs:
+        out.write(".outputs " + " ".join(outputs) + "\n")
+    for inst in module.instances.values():
+        attrs = "".join(f" @{k}={v}" for k, v in sorted(inst.attrs.items()))
+        if inst.kind == "DFF":
+            fields = [f"d={inst.conn['d']}", f"q={inst.conn['q']}"]
+            if "en" in inst.conn:
+                fields.append(f"en={inst.conn['en']}")
+            fields.append(f"init={inst.params.get('init', 0)}")
+            out.write(f".latch {inst.name} " + " ".join(fields) + attrs + "\n")
+        elif inst.kind == "MEM":
+            fields = [
+                f"depth={inst.params['depth']}",
+                f"width={inst.params['width']}",
+                f"nread={inst.params.get('nread', 1)}",
+            ]
+            fields += [f"{pin}={net}" for pin, net in sorted(inst.conn.items())]
+            if "init" in inst.params:
+                fields.append("init=" + ",".join(str(v) for v in inst.params["init"]))
+            out.write(f".mem {inst.name} " + " ".join(fields) + attrs + "\n")
+        elif inst.kind in CELLS:
+            fields = [f"{pin}={net}" for pin, net in sorted(inst.conn.items())]
+            out.write(f".gate {inst.kind} {inst.name} " + " ".join(fields) + attrs + "\n")
+        else:
+            fields = [f"{pin}={net}" for pin, net in sorted(inst.conn.items())]
+            out.write(f".subckt {inst.kind} {inst.name} " + " ".join(fields) + attrs + "\n")
+    out.write(".end\n")
+
+
+def parse_exlif(text: str) -> dict[str, Module]:
+    """Parse EXLIF text into name -> :class:`Module` (file order preserved)."""
+    modules: dict[str, Module] = {}
+    current: Module | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == ".model":
+            if current is not None:
+                raise ExlifParseError("nested .model (missing .end?)", lineno)
+            if len(tokens) != 2:
+                raise ExlifParseError(".model needs exactly one name", lineno)
+            if tokens[1] in modules:
+                raise ExlifParseError(f"duplicate module {tokens[1]!r}", lineno)
+            current = Module(tokens[1])
+            continue
+        if current is None:
+            raise ExlifParseError(f"directive {directive!r} outside .model", lineno)
+        if directive == ".end":
+            modules[current.name] = current
+            current = None
+        elif directive == ".inputs":
+            for name in tokens[1:]:
+                current.add_port(name, INPUT)
+        elif directive == ".outputs":
+            for name in tokens[1:]:
+                current.add_port(name, OUTPUT)
+        elif directive == ".gate":
+            _parse_gate(current, tokens, lineno)
+        elif directive == ".latch":
+            _parse_latch(current, tokens, lineno)
+        elif directive == ".mem":
+            _parse_mem(current, tokens, lineno)
+        elif directive == ".subckt":
+            _parse_subckt(current, tokens, lineno)
+        else:
+            raise ExlifParseError(f"unknown directive {directive!r}", lineno)
+    if current is not None:
+        raise ExlifParseError(f"module {current.name!r} not terminated by .end")
+    return modules
+
+
+def _split_fields(tokens: list[str], lineno: int) -> tuple[dict[str, str], dict[str, str]]:
+    """Split remaining tokens into ``pin=net`` fields and ``@key=value`` attrs."""
+    fields: dict[str, str] = {}
+    attrs: dict[str, str] = {}
+    for token in tokens:
+        target = attrs if token.startswith("@") else fields
+        body = token[1:] if token.startswith("@") else token
+        if "=" not in body:
+            raise ExlifParseError(f"malformed field {token!r}", lineno)
+        key, value = body.split("=", 1)
+        if key in target:
+            raise ExlifParseError(f"duplicate field {key!r}", lineno)
+        target[key] = value
+    return fields, attrs
+
+
+def _parse_gate(module: Module, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 4:
+        raise ExlifParseError(".gate needs KIND NAME and pins", lineno)
+    kind, name = tokens[1], tokens[2]
+    if kind not in CELLS or CELLS[kind].is_sequential:
+        raise ExlifParseError(f"unknown combinational cell {kind!r}", lineno)
+    conn, attrs = _split_fields(tokens[3:], lineno)
+    module.add_instance(Instance(name, kind, conn, attrs=attrs))
+
+
+def _parse_latch(module: Module, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 3:
+        raise ExlifParseError(".latch needs NAME and pins", lineno)
+    name = tokens[1]
+    fields, attrs = _split_fields(tokens[2:], lineno)
+    init = int(fields.pop("init", "0"))
+    if "d" not in fields or "q" not in fields:
+        raise ExlifParseError(".latch requires d= and q=", lineno)
+    module.add_instance(Instance(name, "DFF", fields, params={"init": init}, attrs=attrs))
+
+
+def _parse_mem(module: Module, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 3:
+        raise ExlifParseError(".mem needs NAME and fields", lineno)
+    name = tokens[1]
+    fields, attrs = _split_fields(tokens[2:], lineno)
+    try:
+        params: dict = {
+            "depth": int(fields.pop("depth")),
+            "width": int(fields.pop("width")),
+            "nread": int(fields.pop("nread", "1")),
+        }
+    except KeyError as exc:
+        raise ExlifParseError(f".mem missing parameter {exc}", lineno) from exc
+    if "init" in fields:
+        params["init"] = [int(v) for v in fields.pop("init").split(",") if v]
+    module.add_instance(Instance(name, "MEM", fields, params=params, attrs=attrs))
+
+
+def _parse_subckt(module: Module, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 3:
+        raise ExlifParseError(".subckt needs MODULE NAME and pins", lineno)
+    kind, name = tokens[1], tokens[2]
+    conn, attrs = _split_fields(tokens[3:], lineno)
+    module.add_instance(Instance(name, kind, conn, attrs=attrs))

@@ -1,0 +1,80 @@
+"""Hierarchy flattening.
+
+Mirrors the paper's EXLIF expansion step: "a new tool [fully expands] each
+FUB module by instantiating all sub-circuits within that module. When
+complete, each EXLIF file contains a single model statement that represents
+the original FUB with all hierarchy removed."
+
+:func:`flatten` expands a top module against a library of modules into a
+single flat module of primitive instances. Hierarchical names are joined
+with ``/``; internal nets of a child instance ``u`` become ``u/netname``.
+Instance attributes of the *instantiation* (e.g. ``fub``) are inherited by
+all primitives expanded beneath it unless they set the attribute themselves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Instance, Module
+
+
+def flatten(top: Module, library: dict[str, Module] | None = None) -> Module:
+    """Return a new, fully flattened copy of *top*.
+
+    Args:
+        top: The top-level module.
+        library: Modules referenced by name from ``subckt`` instances.
+            Primitive cells never need to appear here.
+    """
+    library = library or {}
+    flat = Module(top.name)
+    for port in top.ports.values():
+        flat.add_port(port.name, port.direction)
+    _expand(top, flat, prefix="", port_map=None, inherited={}, library=library, stack=(top.name,))
+    return flat
+
+
+def _expand(
+    module: Module,
+    flat: Module,
+    prefix: str,
+    port_map: dict[str, str] | None,
+    inherited: dict[str, str],
+    library: dict[str, Module],
+    stack: tuple[str, ...],
+) -> None:
+    def resolve(net: str) -> str:
+        if port_map is not None and net in port_map:
+            return port_map[net]
+        return f"{prefix}{net}" if prefix else net
+
+    for inst in module.instances.values():
+        attrs = dict(inherited)
+        attrs.update(inst.attrs)
+        conn = {pin: resolve(net) for pin, net in inst.conn.items()}
+        if inst.is_primitive:
+            flat.add_instance(
+                Instance(f"{prefix}{inst.name}", inst.kind, conn, dict(inst.params), attrs)
+            )
+            continue
+        child = library.get(inst.kind)
+        if child is None:
+            raise NetlistError(f"unknown module {inst.kind!r} instantiated as {inst.name!r}")
+        if child.name in stack:
+            raise NetlistError(f"recursive instantiation of module {child.name!r}")
+        child_ports = set(child.ports)
+        bad = set(conn) - child_ports
+        if bad:
+            raise NetlistError(f"instance {inst.name!r}: unknown ports {sorted(bad)}")
+        missing = child_ports - set(conn)
+        if missing:
+            raise NetlistError(f"instance {inst.name!r}: unconnected ports {sorted(missing)}")
+        _expand(
+            child,
+            flat,
+            prefix=f"{prefix}{inst.name}/",
+            port_map=conn,
+            inherited=attrs,
+            library=library,
+            stack=stack + (child.name,),
+        )

@@ -1,0 +1,205 @@
+"""Node-graph extraction from a flattened netlist.
+
+The sequential-AVF methodology operates on "a node graph extracted from
+RTL". This module produces that graph: one node per driven net (gate
+output, flop output, memory read-data bit, constant) plus one node per
+primary input. Edges run from driver nodes to the outputs of the instances
+that consume them.
+
+Two modelling choices mirror the paper:
+
+* **Enabled flops hold state.** A DFF with an enable pin keeps its value
+  while disabled, which in gate terms is a mux from Q back to D — so the
+  extracted graph gives such a flop a self-edge (and an edge from the
+  enable net). SCC detection in :mod:`repro.core.loops` then classifies it
+  as a loop node automatically, matching the paper's observation that
+  "sequentials that behave as ACE structures (data is read/written via
+  enable/enabled clock signals)" must not be treated as simple pipeline
+  stages.
+* **Memories are structures, not logic.** MEM read-data bits appear as
+  source-like nodes with no fan-in; the write-side connectivity is recorded
+  in :class:`MemInfo` so the AVF layer can treat the nets feeding
+  ``wdata`` as structure write-port bits (walk sinks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CELLS, mem_addr_bits
+from repro.netlist.netlist import Module
+
+
+class NodeKind:
+    """Node kind constants."""
+
+    INPUT = "input"
+    CONST = "const"
+    COMB = "comb"
+    SEQ = "seq"
+    MEM_RDATA = "mem_rdata"
+
+
+@dataclass
+class Node:
+    """One node of the extracted graph (identified by its net name)."""
+
+    net: str
+    kind: str
+    inst: str | None = None  # driving instance name (None for primary inputs)
+    cell: str | None = None  # driving cell kind
+    fub: str = ""
+    attrs: dict[str, str] = field(default_factory=dict)
+    fanin: tuple[str, ...] = ()
+
+
+@dataclass
+class MemReadPort:
+    addr: list[str]
+    data: list[str]
+
+
+@dataclass
+class MemInfo:
+    """Connectivity of one MEM instance (an ACE structure in RTL)."""
+
+    inst: str
+    depth: int
+    width: int
+    fub: str
+    attrs: dict[str, str]
+    read_ports: list[MemReadPort]
+    waddr: list[str]
+    wdata: list[str]
+    wen: str
+
+
+class NetGraph:
+    """The extracted node graph.
+
+    Attributes:
+        nodes: Net name -> :class:`Node`.
+        outputs: Primary-output net names (RTL boundary sinks).
+        mems: MEM instance name -> :class:`MemInfo`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self.outputs: list[str] = []
+        self.mems: dict[str, MemInfo] = {}
+        self._fanout: dict[str, list[str]] | None = None
+
+    def fanout(self) -> dict[str, list[str]]:
+        """Net -> nets whose driving instance consumes it (cached)."""
+        if self._fanout is None:
+            fo: dict[str, list[str]] = {net: [] for net in self.nodes}
+            for node in self.nodes.values():
+                for src in node.fanin:
+                    fo[src].append(node.net)
+            self._fanout = fo
+        return self._fanout
+
+    def seq_nets(self) -> list[str]:
+        """Nets driven by flip-flops — the paper's 'sequentials'."""
+        return [n.net for n in self.nodes.values() if n.kind == NodeKind.SEQ]
+
+    def comb_nets(self) -> list[str]:
+        return [n.net for n in self.nodes.values() if n.kind == NodeKind.COMB]
+
+    def nets_by_fub(self) -> dict[str, list[str]]:
+        """FUB name -> nets of nodes tagged with that FUB."""
+        by_fub: dict[str, list[str]] = {}
+        for node in self.nodes.values():
+            by_fub.setdefault(node.fub, []).append(node.net)
+        return by_fub
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _sorted_variadic_pins(conn: dict[str, str]) -> list[str]:
+    return [conn[p] for p in sorted((q for q in conn if q.startswith("a")), key=lambda q: int(q[1:]))]
+
+
+def extract_graph(module: Module) -> NetGraph:
+    """Extract the node graph of a flattened *module*."""
+    graph = NetGraph(module.name)
+
+    for name in module.input_ports():
+        graph.nodes[name] = Node(net=name, kind=NodeKind.INPUT)
+    graph.outputs = list(module.output_ports())
+
+    for inst in module.instances.values():
+        spec = CELLS.get(inst.kind)
+        if spec is None:
+            raise NetlistError(f"extract_graph requires a flat module; {inst.name!r} is {inst.kind!r}")
+        fub = inst.attrs.get("fub", "")
+
+        if spec.name == "MEM":
+            depth, width = inst.params["depth"], inst.params["width"]
+            nread = inst.params.get("nread", 1)
+            abits = mem_addr_bits(depth)
+            ports = []
+            for p in range(nread):
+                addr = _mem_bus(inst.conn, f"raddr{p}_", abits)
+                data = _mem_bus(inst.conn, f"rdata{p}_", width)
+                ports.append(MemReadPort(addr=addr, data=data))
+                for net in data:
+                    graph.nodes[net] = Node(
+                        net=net, kind=NodeKind.MEM_RDATA, inst=inst.name,
+                        cell="MEM", fub=fub, attrs=inst.attrs, fanin=(),
+                    )
+            graph.mems[inst.name] = MemInfo(
+                inst=inst.name, depth=depth, width=width, fub=fub, attrs=inst.attrs,
+                read_ports=ports,
+                waddr=_mem_bus(inst.conn, "waddr_", abits),
+                wdata=_mem_bus(inst.conn, "wdata_", width),
+                wen=inst.conn["wen"],
+            )
+            continue
+
+        if spec.name == "DFF":
+            q = inst.conn["q"]
+            fanin = [inst.conn["d"]]
+            if "en" in inst.conn:
+                # Hold path: enable mux feeds Q back to D (see module docstring).
+                fanin.extend([inst.conn["en"], q])
+            graph.nodes[q] = Node(
+                net=q, kind=NodeKind.SEQ, inst=inst.name, cell="DFF",
+                fub=fub, attrs=inst.attrs, fanin=tuple(fanin),
+            )
+            continue
+
+        if spec.name in ("CONST0", "CONST1"):
+            y = inst.conn["y"]
+            graph.nodes[y] = Node(
+                net=y, kind=NodeKind.CONST, inst=inst.name, cell=spec.name,
+                fub=fub, attrs=inst.attrs, fanin=(),
+            )
+            continue
+
+        y = inst.conn["y"]
+        if spec.variadic:
+            fanin = _sorted_variadic_pins(inst.conn)
+        else:
+            fanin = [inst.conn[p] for p in spec.inputs]
+        graph.nodes[y] = Node(
+            net=y, kind=NodeKind.COMB, inst=inst.name, cell=spec.name,
+            fub=fub, attrs=inst.attrs, fanin=tuple(fanin),
+        )
+
+    missing = {
+        src
+        for node in graph.nodes.values()
+        for src in node.fanin
+        if src not in graph.nodes
+    }
+    if missing:
+        raise NetlistError(f"graph references undriven nets: {sorted(missing)[:10]}")
+    return graph
+
+
+def _mem_bus(conn: dict[str, str], prefix: str, width: int) -> list[str]:
+    return [conn[f"{prefix}{i}"] for i in range(width)]

@@ -1,0 +1,114 @@
+"""Structural netlist validation (lint).
+
+Run after flattening and before simulation or AVF analysis. Checks:
+
+* every net has exactly one driver (primary input, or one instance output);
+* every instance pin connects to a known net;
+* primary outputs are driven;
+* no combinational cycles (cycles must be cut by DFFs — the paper's
+  one-cycle-latency model, and a hard requirement of the cycle-based
+  simulator);
+* MEM parameters are sane.
+
+:func:`validate_module` raises :class:`~repro.errors.ValidationError` with
+all problems listed, or returns simple statistics when clean.
+"""
+
+from __future__ import annotations
+
+from graphlib import CycleError, TopologicalSorter
+
+from repro.errors import ValidationError
+from repro.netlist.cells import CELLS
+from repro.netlist.netlist import INPUT, Module
+
+
+def validate_module(module: Module, require_flat: bool = True) -> dict[str, int]:
+    """Validate *module*; raise :class:`ValidationError` on any problem."""
+    problems: list[str] = []
+
+    for inst in module.instances.values():
+        if inst.kind not in CELLS:
+            if require_flat:
+                problems.append(f"instance {inst.name!r}: non-primitive kind {inst.kind!r}")
+            continue
+        spec = CELLS[inst.kind]
+        if spec.name == "MEM":
+            depth = inst.params.get("depth", 0)
+            width = inst.params.get("width", 0)
+            if depth < 2 or width < 1:
+                problems.append(f"MEM {inst.name!r}: bad depth/width {depth}x{width}")
+        if spec.name == "DFF" and "d" not in inst.conn:
+            problems.append(f"DFF {inst.name!r}: no data input")
+        if not spec.variadic and spec.name not in ("MEM",):
+            for pin in spec.outputs:
+                if pin not in inst.conn:
+                    problems.append(f"instance {inst.name!r}: output pin {pin!r} unconnected")
+
+    try:
+        drivers = module.drivers()
+    except Exception as exc:  # multiply driven
+        raise ValidationError(str(exc)) from exc
+
+    primary_inputs = set(module.input_ports())
+    for inst in module.instances.values():
+        if inst.kind not in CELLS:
+            continue
+        for pin in inst.input_pins():
+            net = inst.conn[pin]
+            if net not in drivers and net not in primary_inputs:
+                problems.append(f"instance {inst.name!r} pin {pin!r}: net {net!r} undriven")
+
+    for out in module.output_ports():
+        if out not in drivers and out not in primary_inputs:
+            problems.append(f"primary output {out!r} undriven")
+
+    comb_cycle = find_combinational_cycle(module)
+    if comb_cycle:
+        problems.append("combinational cycle through nets: " + " -> ".join(comb_cycle[:12]))
+
+    if problems:
+        raise ValidationError(
+            f"module {module.name!r}: {len(problems)} problem(s):\n  " + "\n  ".join(problems)
+        )
+    return module.stats()
+
+
+def find_combinational_cycle(module: Module) -> list[str] | None:
+    """Return a list of nets on a combinational cycle, or None when acyclic.
+
+    Only combinational cells propagate dependencies; DFF and MEM outputs
+    are cycle-breaking (their outputs depend on *previous*-cycle inputs —
+    MEM reads are asynchronous in *data* but the stored word was written at
+    an earlier edge, so the read-address-to-read-data arc is the only
+    combinational arc through a MEM).
+    """
+    deps: dict[str, set[str]] = {}
+    for inst in module.instances.values():
+        if inst.kind not in CELLS:
+            continue
+        spec = CELLS[inst.kind]
+        if spec.name == "DFF":
+            continue
+        if spec.name == "MEM":
+            # Read data depends combinationally on the read address only.
+            nread = inst.params.get("nread", 1)
+            for port in range(nread):
+                addr_nets = [n for p, n in inst.conn.items() if p.startswith(f"raddr{port}_")]
+                for pin, net in inst.conn.items():
+                    if pin.startswith(f"rdata{port}_"):
+                        deps.setdefault(net, set()).update(addr_nets)
+            continue
+        out = inst.conn[spec.outputs[0]] if spec.outputs else None
+        if out is None:
+            continue
+        ins = {inst.conn[p] for p in inst.input_pins()}
+        deps.setdefault(out, set()).update(ins)
+
+    sorter = TopologicalSorter(deps)
+    try:
+        sorter.prepare()
+    except CycleError as exc:
+        cycle = exc.args[1] if len(exc.args) > 1 else []
+        return list(cycle)
+    return None

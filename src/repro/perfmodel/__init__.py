@@ -1,0 +1,30 @@
+"""Trace-driven microarchitectural performance model.
+
+This stands in for the paper's "detailed micro-architectural performance
+model": a parameterized out-of-order pipeline with explicitly modelled
+storage structures (fetch buffer, instruction queue, reorder buffer,
+physical register file, load queue, store buffer). Every structure
+read/write is reported to the ACE instrumentation layer
+(:mod:`repro.ace`), which is what ultimately produces the per-structure
+port AVFs consumed by SART.
+
+The model is trace driven: workloads are sequences of abstract dynamic
+instructions (:mod:`repro.perfmodel.isa`) produced either by the synthetic
+workload generator (:mod:`repro.workloads`) or from tinycore program runs.
+"""
+
+from repro.perfmodel.isa import Inst, OPS
+from repro.perfmodel.trace import Trace, mark_ace
+from repro.perfmodel.machine import MachineConfig, PerfResult, run_workload
+from repro.perfmodel.structures import SimStructure
+
+__all__ = [
+    "Inst",
+    "MachineConfig",
+    "OPS",
+    "PerfResult",
+    "SimStructure",
+    "Trace",
+    "mark_ace",
+    "run_workload",
+]

@@ -1,0 +1,74 @@
+"""Abstract dynamic-instruction records for the performance model.
+
+The performance model does not execute semantics; it consumes *dynamic
+traces* — the standard methodology for ACE analysis, where the trace
+already encodes the executed path. Each record carries the fields ACE
+analysis needs: destination/source registers (for dynamic-deadness
+analysis), the opcode class (for latency and structure routing) and a
+memory address for loads/stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Opcode classes understood by the pipeline.
+OP_ALU = "alu"
+OP_MUL = "mul"
+OP_LOAD = "load"
+OP_STORE = "store"
+OP_BRANCH = "branch"
+OP_NOP = "nop"
+OP_PREFETCH = "prefetch"
+OP_OUTPUT = "output"  # architecturally visible side effect (syscall-ish)
+
+OPS = (OP_ALU, OP_MUL, OP_LOAD, OP_STORE, OP_BRANCH, OP_NOP, OP_PREFETCH, OP_OUTPUT)
+
+# Execution latency per opcode class (cycles in the execute stage).
+DEFAULT_LATENCY = {
+    OP_ALU: 1,
+    OP_MUL: 3,
+    OP_LOAD: 2,      # plus memory latency on a miss
+    OP_STORE: 1,
+    OP_BRANCH: 1,
+    OP_NOP: 1,
+    OP_PREFETCH: 1,
+    OP_OUTPUT: 1,
+}
+
+
+@dataclass
+class Inst:
+    """One dynamic instruction.
+
+    Attributes:
+        seq: Position in the trace (unique, monotonically increasing).
+        op: Opcode class (one of :data:`OPS`).
+        dst: Destination architectural register, or None.
+        srcs: Source architectural registers.
+        addr: Memory address for load/store/prefetch, else None.
+        taken: Branch outcome, None for non-branches.
+        mispredicted: Whether the front end mispredicted this branch.
+        imm: Whether the instruction carries an immediate field (used by
+            bit-field analysis: the immediate field bits are only ACE for
+            instructions that actually consume them).
+        ace: Filled by :func:`repro.perfmodel.trace.mark_ace` — True when
+            the instruction is required for architecturally correct
+            execution.
+    """
+
+    seq: int
+    op: str
+    dst: int | None = None
+    srcs: tuple[int, ...] = ()
+    addr: int | None = None
+    taken: bool | None = None
+    mispredicted: bool = False
+    imm: bool = False
+    ace: bool | None = None
+
+    def is_memory(self) -> bool:
+        return self.op in (OP_LOAD, OP_STORE, OP_PREFETCH)
+
+    def writes_register(self) -> bool:
+        return self.dst is not None and self.op in (OP_ALU, OP_MUL, OP_LOAD)

@@ -1,0 +1,66 @@
+"""Machine-level driver: run one workload through the ACE-instrumented
+pipeline and collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ace.lifetime import AceLifetimeAnalyzer, StructureAvf
+from repro.perfmodel.pipeline import Pipeline, PipelineConfig, PipelineStats
+from repro.perfmodel.trace import Trace, mark_ace
+
+# Re-exported alias: the machine configuration IS the pipeline configuration.
+MachineConfig = PipelineConfig
+
+
+@dataclass
+class PerfResult:
+    """Outcome of one ACE-instrumented performance-model run."""
+
+    workload: str
+    stats: PipelineStats
+    structures: dict[str, StructureAvf]
+    analyzer: AceLifetimeAnalyzer
+    occupancy: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def run_workload(
+    trace: Trace, config: MachineConfig | None = None, *, auto_mark: bool = True
+) -> PerfResult:
+    """Simulate *trace* with ACE instrumentation attached.
+
+    The trace is ACE-marked in place when needed (``auto_mark``). Returns
+    structure AVFs (Eq 3) and the event counters that
+    :func:`repro.ace.portavf.ports_from_analysis` turns into pAVFs.
+    """
+    config = config or MachineConfig()
+    if auto_mark and any(inst.ace is None for inst in trace.insts):
+        mark_ace(trace)
+    analyzer = AceLifetimeAnalyzer()
+    pipeline = Pipeline(trace, config, recorder=analyzer)
+    for structure in pipeline.structures:
+        analyzer.register(
+            structure.name,
+            structure.entries,
+            structure.bits_per_entry,
+            nread=structure.nread,
+            nwrite=structure.nwrite,
+        )
+    stats = pipeline.run()
+    structures = analyzer.finish(stats.cycles)
+    occupancy = {s.name: s.mean_occupancy() for s in pipeline.structures}
+    return PerfResult(
+        workload=trace.name,
+        stats=stats,
+        structures=structures,
+        analyzer=analyzer,
+        occupancy=occupancy,
+    )

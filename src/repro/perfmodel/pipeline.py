@@ -1,0 +1,353 @@
+"""Trace-driven out-of-order pipeline.
+
+A deliberately compact but behaviourally meaningful OoO model: fetch into
+a fetch buffer, in-order rename/dispatch into instruction queue + reorder
+buffer (+ load queue / store buffer), out-of-order issue of ready
+instructions, fixed execution latencies with a deterministic cache model
+for loads, and in-order commit. Every structure interaction emits an ACE
+event, which is the entire reason this model exists: occupancy and event
+rates vary with workload character, producing the per-structure port-AVF
+diversity the paper's methodology consumes.
+
+Branch mispredictions are modelled as front-end bubbles during which,
+optionally, *wrong-path* placeholder instructions are fetched into the
+front-end structures (un-ACE by definition — "un-necessary for
+architecturally correct execution") and squashed unconsumed when the
+bubble ends. This reproduces the un-ACE structure traffic that wrong-path
+execution contributes in a real ACE model without needing alternate-path
+trace content.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.ace.bitfield import IQ_FIELDS, ROB_FIELDS, ace_bits_for, total_bits
+from repro.errors import TraceError
+from repro.perfmodel.isa import (
+    DEFAULT_LATENCY,
+    Inst,
+    OP_LOAD,
+    OP_STORE,
+)
+from repro.perfmodel.structures import SimStructure
+from repro.perfmodel.trace import Trace
+
+
+@dataclass
+class PipelineConfig:
+    """Microarchitectural parameters."""
+
+    fetch_width: int = 4
+    dispatch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    fetch_buffer_entries: int = 16
+    iq_entries: int = 32
+    rob_entries: int = 64
+    phys_regs: int = 96
+    lq_entries: int = 16
+    sb_entries: int = 16
+    arch_regs: int = 32
+    # Deterministic cache model: a load misses when hash(addr) falls in
+    # the miss window; miss adds miss_latency cycles.
+    miss_rate: float = 0.10
+    miss_latency: int = 20
+    mispredict_penalty: int = 8
+    # Fetch un-ACE wrong-path placeholders into the fetch buffer during
+    # mispredict bubbles (squashed, never dispatched).
+    model_wrong_path: bool = True
+    fetch_entry_bits: int = 32
+    reg_bits: int = 64
+    lq_bits: int = 48
+    sb_bits: int = 80
+    use_bitfields: bool = True
+    max_cycles: int = 2_000_000
+
+
+@dataclass
+class _InFlight:
+    inst: Inst
+    rob_entry: int
+    iq_entry: int | None = None
+    lq_entry: int | None = None
+    sb_entry: int | None = None
+    phys: int | None = None
+    producers: tuple[tuple[int, int], ...] = ()  # (producer seq, arch reg)
+    issued: bool = False
+    done: bool = False
+    remaining: int = 0
+    reads: int = 0
+
+
+@dataclass
+class PipelineStats:
+    cycles: int = 0
+    committed: int = 0
+    fetch_stall_cycles: int = 0
+    dispatch_stall_cycles: int = 0
+    mispredict_bubbles: int = 0
+    wrong_path_fetched: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+class Pipeline:
+    """One pipeline instance bound to a trace and an event recorder."""
+
+    def __init__(self, trace: Trace, config: PipelineConfig, recorder=None):
+        if any(inst.ace is None for inst in trace.insts):
+            raise TraceError("trace must be ACE-marked (run mark_ace first)")
+        self.trace = trace
+        self.config = config
+        self.recorder = recorder
+        c = config
+        self.fetch_buffer = SimStructure(
+            "fetch_buffer", c.fetch_buffer_entries, c.fetch_entry_bits,
+            nread=c.dispatch_width, nwrite=c.fetch_width, recorder=recorder,
+        )
+        self.iq = SimStructure(
+            "inst_queue", c.iq_entries, total_bits(IQ_FIELDS),
+            nread=c.issue_width, nwrite=c.dispatch_width, recorder=recorder,
+        )
+        self.rob = SimStructure(
+            "rob", c.rob_entries, total_bits(ROB_FIELDS),
+            nread=c.commit_width, nwrite=c.dispatch_width, recorder=recorder,
+        )
+        self.regfile = SimStructure(
+            "regfile", c.phys_regs, c.reg_bits,
+            nread=2 * c.issue_width, nwrite=c.issue_width, recorder=recorder,
+        )
+        self.lq = SimStructure(
+            "load_queue", c.lq_entries, c.lq_bits,
+            nread=c.issue_width, nwrite=c.dispatch_width, recorder=recorder,
+        )
+        self.sb = SimStructure(
+            "store_buffer", c.sb_entries, c.sb_bits,
+            nread=c.commit_width, nwrite=c.issue_width, recorder=recorder,
+        )
+        self.structures = [
+            self.fetch_buffer, self.iq, self.rob, self.regfile, self.lq, self.sb
+        ]
+        self.stats = PipelineStats()
+
+        self._fetch_index = 0
+        self._fetch_bubble = 0
+        self._wrong_path_entries: list[int] = []
+        self._fetched: deque[tuple[Inst, int]] = deque()  # (inst, fb entry)
+        self._inflight: dict[int, _InFlight] = {}
+        self._rob_order: deque[int] = deque()
+        self._executing: list[int] = []
+        # rename state
+        self._arch_map: dict[int, int] = {}   # arch reg -> latest writer seq
+        self._arch_phys: dict[int, int] = {}  # arch reg -> committed phys entry
+        self._phys_reads: dict[int, int] = {}  # phys entry -> read count
+
+    # ------------------------------------------------------------------
+    def _is_miss(self, addr: int) -> bool:
+        if self.config.miss_rate <= 0:
+            return False
+        return (addr * 2654435761 % 997) < self.config.miss_rate * 997
+
+    def _latency(self, inst: Inst) -> int:
+        latency = DEFAULT_LATENCY[inst.op]
+        if inst.op == OP_LOAD and self._is_miss(inst.addr or 0):
+            latency += self.config.miss_latency
+        return latency
+
+    # ------------------------------------------------------------------
+    def run(self) -> PipelineStats:
+        """Simulate until the whole trace commits."""
+        cycle = 0
+        total = len(self.trace.insts)
+        while self.stats.committed < total:
+            if cycle >= self.config.max_cycles:
+                raise TraceError(
+                    f"{self.trace.name}: exceeded max_cycles={self.config.max_cycles}"
+                )
+            self._commit(cycle)
+            self._execute(cycle)
+            self._issue(cycle)
+            self._dispatch(cycle)
+            self._fetch(cycle)
+            for structure in self.structures:
+                structure.sample_occupancy()
+            cycle += 1
+        self.stats.cycles = cycle
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _fetch(self, cycle: int) -> None:
+        if self._fetch_bubble > 0:
+            self._fetch_bubble -= 1
+            self.stats.mispredict_bubbles += 1
+            if self.config.model_wrong_path and not self.fetch_buffer.is_full():
+                # Wrong-path fetch: occupies a real entry, carries no ACE
+                # bits, and is squashed when the bubble drains.
+                entry = self.fetch_buffer.alloc(cycle, ace=False)
+                if entry is not None:
+                    self._wrong_path_entries.append(entry)
+                    self.stats.wrong_path_fetched += 1
+            if self._fetch_bubble == 0:
+                for entry in self._wrong_path_entries:
+                    self.fetch_buffer.release(entry, cycle, consumed=False)
+                self._wrong_path_entries.clear()
+            return
+        for _ in range(self.config.fetch_width):
+            if self._fetch_index >= len(self.trace.insts):
+                return
+            if self.fetch_buffer.is_full():
+                self.stats.fetch_stall_cycles += 1
+                return
+            inst = self.trace.insts[self._fetch_index]
+            entry = self.fetch_buffer.alloc(cycle, ace=bool(inst.ace))
+            self._fetched.append((inst, entry))
+            self._fetch_index += 1
+            if inst.mispredicted:
+                self._fetch_bubble = self.config.mispredict_penalty
+                return
+
+    def _dispatch(self, cycle: int) -> None:
+        c = self.config
+        for _ in range(c.dispatch_width):
+            if not self._fetched:
+                return
+            inst, fb_entry = self._fetched[0]
+            if self.rob.is_full() or self.iq.is_full():
+                self.stats.dispatch_stall_cycles += 1
+                return
+            if inst.op == OP_LOAD and self.lq.is_full():
+                self.stats.dispatch_stall_cycles += 1
+                return
+            if inst.op == OP_STORE and self.sb.is_full():
+                self.stats.dispatch_stall_cycles += 1
+                return
+            if inst.writes_register() and self.regfile.is_full():
+                self.stats.dispatch_stall_cycles += 1
+                return
+            self._fetched.popleft()
+            ace = bool(inst.ace)
+            self.fetch_buffer.read(fb_entry, cycle, ace)
+            self.fetch_buffer.release(fb_entry, cycle, consumed=True)
+
+            iq_bits = ace_bits_for(IQ_FIELDS, inst) if c.use_bitfields else None
+            rob_bits = ace_bits_for(ROB_FIELDS, inst) if c.use_bitfields else None
+            rob_entry = self.rob.alloc(cycle, ace, ace_bits=rob_bits)
+            iq_entry = self.iq.alloc(cycle, ace, ace_bits=iq_bits)
+            producers = tuple(
+                (self._arch_map[reg], reg) for reg in inst.srcs if reg in self._arch_map
+            )
+            flight = _InFlight(
+                inst=inst, rob_entry=rob_entry, iq_entry=iq_entry, producers=producers
+            )
+            if inst.op == OP_LOAD:
+                flight.lq_entry = self.lq.alloc(cycle, ace)
+            if inst.op == OP_STORE:
+                # Store-buffer entries allocate at dispatch, in program
+                # order — allocating at issue lets younger stores starve
+                # the ROB head and deadlock the machine (in-order commit
+                # cannot drain them). Address/data are recorded at
+                # execute, when they exist.
+                flight.sb_entry = self.sb.alloc(cycle, ace, record=False)
+            if inst.writes_register():
+                # Rename: allocate the phys reg now, silently — the write
+                # event is recorded at writeback, when the value arrives.
+                flight.phys = self.regfile.alloc(cycle, ace=False, record=False)
+                self._phys_reads[flight.phys] = 0
+            self._inflight[inst.seq] = flight
+            self._rob_order.append(inst.seq)
+            if inst.writes_register():
+                self._arch_map[inst.dst] = inst.seq
+
+    def _issue(self, cycle: int) -> None:
+        issued = 0
+        for seq in list(self._rob_order):
+            if issued >= self.config.issue_width:
+                return
+            flight = self._inflight[seq]
+            if flight.issued:
+                continue
+            ready = all(
+                self._inflight[p].done
+                for p, _reg in flight.producers
+                if p in self._inflight
+            )
+            if not ready:
+                continue
+            flight.issued = True
+            flight.remaining = self._latency(flight.inst)
+            ace = bool(flight.inst.ace)
+            self.iq.read(flight.iq_entry, cycle, ace)
+            self.iq.release(flight.iq_entry, cycle, consumed=True)
+            flight.iq_entry = None
+            if flight.sb_entry is not None:
+                self.sb.write(flight.sb_entry, cycle, ace)
+            for producer_seq, reg in flight.producers:
+                producer = self._inflight.get(producer_seq)
+                if producer is not None and producer.phys is not None:
+                    phys = producer.phys
+                elif reg in self._arch_phys:
+                    phys = self._arch_phys[reg]  # producer already committed
+                else:
+                    continue
+                self.regfile.read(phys, cycle, ace)
+                self._phys_reads[phys] = self._phys_reads.get(phys, 0) + 1
+            self._executing.append(seq)
+            issued += 1
+
+    def _execute(self, cycle: int) -> None:
+        still = []
+        for seq in self._executing:
+            flight = self._inflight[seq]
+            flight.remaining -= 1
+            if flight.remaining > 0:
+                still.append(seq)
+                continue
+            flight.done = True
+            ace = bool(flight.inst.ace)
+            if flight.phys is not None:
+                self.regfile.write(flight.phys, cycle, ace)
+            if flight.lq_entry is not None:
+                self.lq.read(flight.lq_entry, cycle, ace)
+        self._executing = still
+
+    def _commit(self, cycle: int) -> None:
+        for _ in range(self.config.commit_width):
+            if not self._rob_order:
+                return
+            seq = self._rob_order[0]
+            flight = self._inflight[seq]
+            if not flight.done:
+                return
+            self._rob_order.popleft()
+            ace = bool(flight.inst.ace)
+            self.rob.read(flight.rob_entry, cycle, ace)
+            self.rob.release(flight.rob_entry, cycle, consumed=True)
+            if flight.lq_entry is not None:
+                self.lq.release(flight.lq_entry, cycle, consumed=ace)
+            if flight.sb_entry is not None:
+                self.sb.read(flight.sb_entry, cycle, ace)
+                self.sb.release(flight.sb_entry, cycle, consumed=True)
+            if flight.phys is not None:
+                inst = flight.inst
+                # Free the previous mapping of this arch reg: its value is
+                # dead once a younger writer commits.
+                self._release_previous_phys(inst.dst, seq, cycle)
+            self.stats.committed += 1
+            self._inflight.pop(seq)
+
+    def _release_previous_phys(self, arch_reg: int, new_seq: int, cycle: int) -> None:
+        old_phys = self._arch_phys.get(arch_reg)
+        if old_phys is not None:
+            consumed = self._phys_reads.get(old_phys, 0) > 0
+            self.regfile.release(old_phys, cycle, consumed=consumed)
+            self._phys_reads.pop(old_phys, None)
+        # The committing writer's phys becomes the architectural mapping.
+        self._arch_phys[arch_reg] = self._current_phys_of(new_seq)
+
+    def _current_phys_of(self, seq: int) -> int | None:
+        flight = self._inflight.get(seq)
+        return flight.phys if flight is not None else None

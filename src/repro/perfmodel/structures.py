@@ -1,0 +1,115 @@
+"""Modelled storage structures with ACE event reporting.
+
+Every micro-architectural structure in the performance model is a
+:class:`SimStructure`: a fixed pool of entries with allocate/read/release
+operations. Each operation is forwarded to an attached *recorder* (the
+ACE instrumentation — :class:`repro.ace.lifetime.AceLifetimeAnalyzer`
+implements the interface), which is how "read/write events" reach ACE
+lifetime analysis and the port-AVF counters without the pipeline knowing
+anything about AVF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import AceError
+
+
+class EventRecorder(Protocol):
+    """Interface the ACE instrumentation implements."""
+
+    def on_write(self, struct: str, entry: int, cycle: int, ace: bool, ace_bits: int | None, bits: int) -> None: ...
+
+    def on_read(self, struct: str, entry: int, cycle: int, ace: bool) -> None: ...
+
+    def on_release(self, struct: str, entry: int, cycle: int, consumed: bool) -> None: ...
+
+
+@dataclass
+class SimStructure:
+    """One storage structure of the performance model.
+
+    Attributes:
+        name: Structure name (the key SART structures map against).
+        entries: Number of entries.
+        bits_per_entry: Width used for AVF weighting.
+        nread / nwrite: Port counts (used to normalize port AVFs).
+        recorder: Optional ACE event sink.
+    """
+
+    name: str
+    entries: int
+    bits_per_entry: int
+    nread: int = 1
+    nwrite: int = 1
+    recorder: EventRecorder | None = None
+    _free: list[int] = field(default_factory=list)
+    _busy: set[int] = field(default_factory=set)
+    occupancy_accum: int = 0
+    occupancy_samples: int = 0
+
+    def __post_init__(self) -> None:
+        self._free = list(range(self.entries))
+
+    # ------------------------------------------------------------------
+    def is_full(self) -> bool:
+        return not self._free
+
+    def occupancy(self) -> int:
+        return len(self._busy)
+
+    def sample_occupancy(self) -> None:
+        self.occupancy_accum += len(self._busy)
+        self.occupancy_samples += 1
+
+    def mean_occupancy(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_accum / self.occupancy_samples
+
+    # ------------------------------------------------------------------
+    def alloc(
+        self, cycle: int, ace: bool, ace_bits: int | None = None, record: bool = True
+    ) -> int | None:
+        """Allocate an entry and record the write; None when full.
+
+        ``record=False`` reserves the entry without emitting a write event
+        — used when allocation and data arrival happen at different times
+        (e.g. physical registers renamed at dispatch, written at
+        writeback); the caller then records the real write via
+        :meth:`write`.
+        """
+        if not self._free:
+            return None
+        entry = self._free.pop()
+        self._busy.add(entry)
+        if record and self.recorder is not None:
+            self.recorder.on_write(
+                self.name, entry, cycle, ace, ace_bits, self.bits_per_entry
+            )
+        return entry
+
+    def write(self, entry: int, cycle: int, ace: bool, ace_bits: int | None = None) -> None:
+        """Overwrite an already-allocated entry (recorded as a new write)."""
+        if entry not in self._busy:
+            raise AceError(f"{self.name}: write to unallocated entry {entry}")
+        if self.recorder is not None:
+            self.recorder.on_write(
+                self.name, entry, cycle, ace, ace_bits, self.bits_per_entry
+            )
+
+    def read(self, entry: int, cycle: int, ace: bool) -> None:
+        if entry not in self._busy:
+            raise AceError(f"{self.name}: read of unallocated entry {entry}")
+        if self.recorder is not None:
+            self.recorder.on_read(self.name, entry, cycle, ace)
+
+    def release(self, entry: int, cycle: int, consumed: bool = True) -> None:
+        if entry not in self._busy:
+            raise AceError(f"{self.name}: release of unallocated entry {entry}")
+        self._busy.discard(entry)
+        self._free.append(entry)
+        if self.recorder is not None:
+            self.recorder.on_release(self.name, entry, cycle, consumed)

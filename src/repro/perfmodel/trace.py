@@ -1,0 +1,133 @@
+"""Workload traces and ACE/un-ACE classification.
+
+:func:`mark_ace` implements the instruction-level part of ACE analysis
+(Mukherjee et al. [1]): an instruction is *un-ACE* when removing its
+result could not change architecturally correct execution. The roots of
+ACE-ness are architecturally visible effects — stores, branches and
+explicit outputs; NOPs and software prefetches are un-ACE by definition;
+everything else is ACE exactly when its result transitively feeds a root
+(dynamically dead code — "first-level dead" and "transitively dead" — is
+un-ACE).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TraceError
+from repro.perfmodel.isa import (
+    Inst,
+    OP_BRANCH,
+    OP_NOP,
+    OP_OUTPUT,
+    OP_PREFETCH,
+    OP_STORE,
+)
+
+_ROOT_OPS = (OP_STORE, OP_BRANCH, OP_OUTPUT)
+_NEVER_ACE_OPS = (OP_NOP, OP_PREFETCH)
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction trace plus metadata."""
+
+    name: str
+    insts: list[Inst] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __iter__(self) -> Iterator[Inst]:
+        return iter(self.insts)
+
+    def validate(self) -> None:
+        """Check sequence numbers and field consistency."""
+        for i, inst in enumerate(self.insts):
+            if inst.seq != i:
+                raise TraceError(f"{self.name}: inst {i} has seq {inst.seq}")
+            if inst.is_memory() and inst.addr is None:
+                raise TraceError(f"{self.name}: memory op at {i} without address")
+            if inst.op == OP_BRANCH and inst.taken is None:
+                raise TraceError(f"{self.name}: branch at {i} without outcome")
+
+    def ace_fraction(self) -> float:
+        """Fraction of ACE instructions (requires :func:`mark_ace`)."""
+        if not self.insts:
+            return 0.0
+        marked = [i for i in self.insts if i.ace is not None]
+        if len(marked) != len(self.insts):
+            raise TraceError(f"{self.name}: trace not ACE-marked")
+        return sum(1 for i in marked if i.ace) / len(marked)
+
+
+def mark_ace(trace: Trace) -> Trace:
+    """Classify every instruction as ACE or un-ACE, in place.
+
+    Builds the register dataflow graph of the trace and walks backward
+    from the architecturally visible roots. Values still live in
+    architectural registers at the end of the trace are conservatively
+    treated as roots too (they may be consumed after the observation
+    window — the analysis cannot prove them dead).
+    """
+    insts = trace.insts
+    # last_writer[reg] -> seq of the most recent producer
+    last_writer: dict[int, int] = {}
+    # consumers[seq] -> producer seqs feeding it
+    producers: dict[int, list[int]] = {}
+    for inst in insts:
+        feeds = []
+        for reg in inst.srcs:
+            writer = last_writer.get(reg)
+            if writer is not None:
+                feeds.append(writer)
+        producers[inst.seq] = feeds
+        if inst.writes_register():
+            last_writer[inst.dst] = inst.seq
+
+    worklist: deque[int] = deque()
+    ace: set[int] = set()
+    for inst in insts:
+        if inst.op in _ROOT_OPS:
+            ace.add(inst.seq)
+            worklist.append(inst.seq)
+    # Live-out register values are conservatively ACE ("unknown").
+    for seq in last_writer.values():
+        if seq not in ace:
+            ace.add(seq)
+            worklist.append(seq)
+
+    while worklist:
+        seq = worklist.popleft()
+        for producer in producers.get(seq, ()):
+            if producer not in ace:
+                ace.add(producer)
+                worklist.append(producer)
+
+    for inst in insts:
+        if inst.op in _NEVER_ACE_OPS:
+            inst.ace = False
+        else:
+            inst.ace = inst.seq in ace
+    return trace
+
+
+def merge_traces(name: str, traces: Iterable[Trace]) -> Trace:
+    """Concatenate traces, renumbering sequence ids."""
+    merged = Trace(name=name)
+    for t in traces:
+        for inst in t.insts:
+            clone = Inst(
+                seq=len(merged.insts),
+                op=inst.op,
+                dst=inst.dst,
+                srcs=inst.srcs,
+                addr=inst.addr,
+                taken=inst.taken,
+                mispredicted=inst.mispredicted,
+                imm=inst.imm,
+            )
+            merged.insts.append(clone)
+    return merged

@@ -1,0 +1,64 @@
+"""Topological levelization of a flattened netlist.
+
+Produces the evaluation order for the cycle-based simulator: combinational
+gates and memory read ports sorted so every operation's inputs are computed
+before it runs. DFF outputs, constants and primary inputs are sources
+(computed at the previous edge or externally) and do not appear in the
+order.
+"""
+
+from __future__ import annotations
+
+from graphlib import CycleError, TopologicalSorter
+
+from repro.errors import SimulationError
+from repro.netlist.cells import CELLS, mem_addr_bits
+from repro.netlist.netlist import Instance, Module
+
+# Evaluation unit kinds.
+GATE = "gate"
+MEM_READ = "mem_read"
+
+
+def levelize(module: Module) -> list[tuple[str, Instance, int]]:
+    """Return evaluation units ``(kind, instance, read_port)`` in topo order.
+
+    ``kind`` is :data:`GATE` (``read_port`` is -1) or :data:`MEM_READ`
+    (one unit per memory read port). Raises
+    :class:`~repro.errors.SimulationError` on a combinational cycle.
+    """
+    units: dict[str, tuple[str, Instance, int]] = {}
+    produces: dict[str, str] = {}  # net -> unit id
+    deps: dict[str, set[str]] = {}
+
+    for inst in module.instances.values():
+        spec = CELLS.get(inst.kind)
+        if spec is None:
+            raise SimulationError(f"cannot simulate non-primitive instance {inst.name!r}")
+        if spec.name == "DFF":
+            continue
+        if spec.name == "MEM":
+            abits = mem_addr_bits(inst.params["depth"])
+            for port in range(inst.params.get("nread", 1)):
+                unit_id = f"{inst.name}#r{port}"
+                units[unit_id] = (MEM_READ, inst, port)
+                deps[unit_id] = {inst.conn[f"raddr{port}_{i}"] for i in range(abits)}
+                for i in range(inst.params["width"]):
+                    produces[inst.conn[f"rdata{port}_{i}"]] = unit_id
+            continue
+        unit_id = inst.name
+        units[unit_id] = (GATE, inst, -1)
+        deps[unit_id] = {inst.conn[p] for p in inst.input_pins()}
+        for pin in inst.output_pins():
+            produces[inst.conn[pin]] = unit_id
+
+    graph: dict[str, set[str]] = {}
+    for unit_id, nets in deps.items():
+        graph[unit_id] = {produces[n] for n in nets if n in produces}
+
+    sorter = TopologicalSorter(graph)
+    try:
+        order = list(sorter.static_order())
+    except CycleError as exc:
+        raise SimulationError(f"combinational cycle: {exc.args[1] if len(exc.args) > 1 else exc}") from exc
+    return [units[u] for u in order if u in units]

@@ -1,0 +1,68 @@
+"""Observation helpers for the simulator.
+
+:class:`Probe` samples a set of nets every cycle (per lane) — used for the
+SFI observation points ("program outputs" for SDC, "error detection logic"
+for DUE). :class:`StateSnapshot` captures complete architectural state for
+golden-vs-faulty comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtlsim.simulator import Simulator
+
+
+@dataclass
+class Probe:
+    """Samples a bus once per call; accumulates a per-lane history.
+
+    Attributes:
+        nets: Bus to observe (LSB first).
+        valid: Optional qualifier net — samples are recorded only in lanes
+            where this net is 1 (e.g. a "commit valid" strobe).
+    """
+
+    nets: list[str]
+    valid: str | None = None
+    history: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+    def sample(self, sim: Simulator, lanes: range | None = None) -> None:
+        """Record ``(cycle, word)`` for each (qualified) lane."""
+        lanes = lanes if lanes is not None else range(sim.lanes)
+        valid_bits = sim.peek(self.valid) if self.valid is not None else sim.mask
+        for lane in lanes:
+            if (valid_bits >> lane) & 1:
+                word = sim.peek_word(self.nets, lane)
+                self.history.setdefault(lane, []).append((sim.cycle, word))
+
+    def lanes_mismatching(self, reference_lane: int = 0) -> set[int]:
+        """Lanes whose recorded history differs from the reference lane's."""
+        ref = self.history.get(reference_lane, [])
+        out = set()
+        for lane, hist in self.history.items():
+            if lane != reference_lane and hist != ref:
+                out.add(lane)
+        return out
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """Full architectural state of one lane at one instant."""
+
+    cycle: int
+    flops: tuple[int, ...]
+    mems: tuple[tuple[str, tuple[tuple[int, int], ...]], ...]
+
+    @classmethod
+    def capture(cls, sim: Simulator, lane: int) -> "StateSnapshot":
+        mems = []
+        for name, mem in sorted(sim.mems.items()):
+            overlay = mem.overlays.get(lane, {})
+            words = tuple(sorted(overlay.items()))
+            mems.append((name, words))
+        return cls(cycle=sim.cycle, flops=sim.seq_state(lane), mems=tuple(mems))
+
+    def differs_from(self, other: "StateSnapshot") -> bool:
+        """True when any flop or memory word differs (cycle is ignored)."""
+        return self.flops != other.flops or self.mems != other.mems

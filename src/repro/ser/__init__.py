@@ -1,0 +1,27 @@
+"""SER (soft-error-rate) modelling and silicon-style correlation.
+
+* :mod:`repro.ser.fit` — Eq 1: ``FIT = AVF x bits x intrinsic rate``,
+  with SDC accounting by component group.
+* :mod:`repro.ser.beam` — the simulated accelerated beam test: Poisson
+  particle strikes into every storage bit of the gate-level core under a
+  configurable flux, with SDC observed at the program outputs. This is
+  the in-silico equivalent of the paper's 200 MeV proton-beam runs at the
+  Indiana University Cyclotron (see DESIGN.md substitutions).
+* :mod:`repro.ser.correlation` — the Figure 10 experiment: modeled SER
+  with structure-AVF-proxy vs SART sequential AVFs, against the measured
+  beam rate, normalized to arbitrary units.
+"""
+
+from repro.ser.fit import FitModel, GroupFit
+from repro.ser.beam import BeamConfig, BeamResult, run_beam_test
+from repro.ser.correlation import CorrelationRow, correlate_workloads
+
+__all__ = [
+    "BeamConfig",
+    "BeamResult",
+    "CorrelationRow",
+    "FitModel",
+    "GroupFit",
+    "correlate_workloads",
+    "run_beam_test",
+]

@@ -1,0 +1,34 @@
+"""Statistical fault injection into the gate-level model (paper §3.1).
+
+The paper's baseline: "SFI works by running two copies of the RTL
+simulation. A fault is injected into one copy by artificially flipping a
+random bit at a random timestep... The sequential AVF is computed as the
+number of errors seen at the observation points divided by the number of
+injected faults", plus an *unknown* component for faults still resident
+at simulation end (Eq 2).
+
+Our implementation exploits the lane-parallel simulator: lane 0 is the
+golden copy and up to 63 faulty replicas run in the same pass, which is
+what makes node-resolution SFI feasible in pure Python. Classification:
+
+* ``masked`` — no architectural or microarchitectural difference remains;
+* ``sdc`` — the program's output stream (or halt behaviour) differs;
+* ``unknown`` — outputs match but state still differs at the end of the
+  observation window (latent faults, Eq 2's unknown term).
+"""
+
+from repro.sfi.campaign import FaultPlan, InjectionOutcome, plan_campaign
+from repro.sfi.injector import CampaignResult, run_sfi_campaign
+from repro.sfi.results import NodeAvfEstimate, aggregate_by_node, overall_avf, wilson_interval
+
+__all__ = [
+    "CampaignResult",
+    "FaultPlan",
+    "InjectionOutcome",
+    "NodeAvfEstimate",
+    "aggregate_by_node",
+    "overall_avf",
+    "plan_campaign",
+    "run_sfi_campaign",
+    "wilson_interval",
+]

@@ -1,0 +1,123 @@
+"""SFI campaign execution on tinycore.
+
+One simulator pass carries the golden lane plus up to 63 fault lanes;
+each fault lane gets its planned bit flip at its planned cycle. After
+lane 0 halts, every fault lane is classified against the golden lane.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.designs.tinycore.core import TinycoreNetlist, build_tinycore
+from repro.designs.tinycore.harness import GateLevelRun, run_gate_level
+from repro.errors import CampaignError
+from repro.rtlsim.simulator import Simulator
+from repro.sfi.campaign import (
+    DUE,
+    MASKED,
+    SDC,
+    UNKNOWN,
+    FaultPlan,
+    InjectionOutcome,
+    batches,
+)
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one SFI campaign plus bookkeeping."""
+
+    outcomes: list[InjectionOutcome] = field(default_factory=list)
+    passes: int = 0
+    simulated_cycles: int = 0
+    elapsed_seconds: float = 0.0
+
+    def counts(self) -> dict[str, int]:
+        out = {MASKED: 0, SDC: 0, UNKNOWN: 0, DUE: 0}
+        for o in self.outcomes:
+            out[o.outcome] += 1
+        return out
+
+    def due_avf(self) -> float:
+        """Detected-error AVF (observation point: the detection logic)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.is_due) / len(self.outcomes)
+
+    def avf(self) -> float:
+        """Eq 2: (errors + unknown) / injected."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.counts_as_error) / len(self.outcomes)
+
+
+def run_sfi_campaign(
+    program: list[int],
+    dmem_init: list[int] | None,
+    plans: Sequence[FaultPlan],
+    *,
+    max_cycles: int = 100_000,
+    lanes_per_pass: int = 63,
+    netlist: TinycoreNetlist | None = None,
+) -> CampaignResult:
+    """Execute every planned injection and classify the outcomes."""
+    started = time.perf_counter()
+    if netlist is None:
+        netlist = build_tinycore(program, dmem_init)
+    known = netlist.module.nets
+    for plan in plans:
+        if plan.net not in known:
+            raise CampaignError(f"fault plan targets unknown net {plan.net!r}")
+
+    result = CampaignResult()
+    sim: Simulator | None = None
+    for batch in batches(plans, lanes_per_pass):
+        lanes = len(batch) + 1
+        if sim is None or sim.lanes != lanes:
+            sim = Simulator(netlist.module, lanes=lanes)
+        by_cycle: dict[int, list[tuple[str, int]]] = {}
+        for lane_offset, plan in enumerate(batch):
+            by_cycle.setdefault(plan.cycle, []).append((plan.net, 1 << (lane_offset + 1)))
+
+        def inject(simulator: Simulator, cycle: int) -> None:
+            for net, lane_mask in by_cycle.get(cycle, ()):
+                simulator.flip(net, lane_mask)
+
+        run = run_gate_level(
+            program, dmem_init, max_cycles=max_cycles,
+            netlist=netlist, sim=sim, on_cycle=inject,
+        )
+        result.passes += 1
+        result.simulated_cycles += run.cycles
+        result.outcomes.extend(_classify_batch(run, batch))
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _classify_batch(run: GateLevelRun, batch: Sequence[FaultPlan]) -> list[InjectionOutcome]:
+    golden_arch = run.architectural_state(0)
+    latent_lanes = run.sim.lanes_differing_from(0)
+    due_net = run.netlist.due
+    due_bits = run.sim.peek(due_net) if due_net is not None else 0
+    outcomes = []
+    for lane_offset, plan in enumerate(batch):
+        lane = lane_offset + 1
+        arch = run.architectural_state(lane)
+        halted_matches = (lane in run.halted_lanes) == (0 in run.halted_lanes)
+        if due_net is not None and (due_bits >> lane) & 1 and not (due_bits & 1):
+            # Detection fired in this replica (and not in the golden run):
+            # the machine signals the error — detected, not silent.
+            outcome = DUE
+        elif arch[0] != golden_arch[0] or not halted_matches:
+            outcome = SDC  # visible at the program outputs
+        elif arch[1:] != golden_arch[1:]:
+            outcome = UNKNOWN  # architectural state still corrupted
+        elif lane in latent_lanes:
+            outcome = UNKNOWN  # microarchitectural state still corrupted
+        else:
+            outcome = MASKED
+        outcomes.append(InjectionOutcome(plan=plan, outcome=outcome))
+    return outcomes

@@ -1,0 +1,74 @@
+"""SFI result aggregation: per-node AVFs and confidence intervals."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.sfi.campaign import InjectionOutcome
+
+
+@dataclass(frozen=True)
+class NodeAvfEstimate:
+    """SFI AVF estimate for one node (Eq 2, restricted to that node)."""
+
+    net: str
+    injections: int
+    errors: int       # SDC + unknown (the silent-corruption numerator)
+    sdc: int
+    unknown: int
+    due: int = 0      # detected errors (separate AVF, Section 3.1)
+
+    @property
+    def avf(self) -> float:
+        return self.errors / self.injections if self.injections else 0.0
+
+    @property
+    def due_avf(self) -> float:
+        return self.due / self.injections if self.injections else 0.0
+
+    def interval(self, z: float = 1.96) -> tuple[float, float]:
+        return wilson_interval(self.errors, self.injections, z)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def aggregate_by_node(outcomes: Iterable[InjectionOutcome]) -> dict[str, NodeAvfEstimate]:
+    """Group outcomes by injected net and compute per-node AVFs."""
+    tally: dict[str, list[int]] = {}
+    for o in outcomes:
+        row = tally.setdefault(o.plan.net, [0, 0, 0, 0])  # inj, sdc, unknown, due
+        row[0] += 1
+        if o.outcome == "sdc":
+            row[1] += 1
+        elif o.outcome == "unknown":
+            row[2] += 1
+        elif o.outcome == "due":
+            row[3] += 1
+    return {
+        net: NodeAvfEstimate(
+            net=net, injections=row[0], errors=row[1] + row[2],
+            sdc=row[1], unknown=row[2], due=row[3],
+        )
+        for net, row in tally.items()
+    }
+
+
+def overall_avf(outcomes: Iterable[InjectionOutcome]) -> tuple[float, tuple[float, float]]:
+    """Whole-campaign AVF with its Wilson interval."""
+    outcomes = list(outcomes)
+    errors = sum(1 for o in outcomes if o.counts_as_error)
+    return (
+        errors / len(outcomes) if outcomes else 0.0,
+        wilson_interval(errors, len(outcomes)),
+    )

@@ -1,0 +1,23 @@
+"""Synthetic workload suite for the performance model.
+
+Stands in for the paper's proprietary 547-workload server suite: a seeded
+generator (:mod:`repro.workloads.generator`) produces traces with
+controlled instruction mix, ILP, memory behaviour, branchiness and
+dead-code fraction, and :mod:`repro.workloads.suite` defines named
+workload classes spanning the space (SPEC-int-like, SPEC-fp-like,
+server/transaction-like, web-like, HPC-like, pointer-chasing, ...).
+"""
+
+from repro.workloads.generator import WorkloadSpec, generate_trace
+from repro.workloads.suite import default_suite, suite_by_class, SUITE_CLASSES
+
+from repro.workloads.suite import make_suite
+
+__all__ = [
+    "SUITE_CLASSES",
+    "WorkloadSpec",
+    "default_suite",
+    "generate_trace",
+    "make_suite",
+    "suite_by_class",
+]

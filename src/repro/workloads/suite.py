@@ -1,0 +1,101 @@
+"""Named workload classes and suite construction.
+
+The paper's suite "includes industry-standard benchmarks such as SPEC as
+well as traces of actual server workloads such as transaction processing,
+web benchmarks". We define eight statistical classes spanning the same
+behavioural axes and instantiate each class several times with varied
+seeds/parameters; :func:`default_suite` yields 48 workloads (scalable up
+or down via ``per_class``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.workloads.generator import WorkloadSpec, generate_trace
+
+# Template per class: the statistical signature of the workload family.
+SUITE_CLASSES: dict[str, WorkloadSpec] = {
+    # Integer compute: ALU heavy, predictable branches, small working set.
+    "specint": WorkloadSpec(
+        name="specint", frac_alu=0.55, frac_mul=0.04, frac_load=0.20,
+        frac_store=0.09, frac_branch=0.10, dep_distance=3, working_set=1024,
+        mispredict_rate=0.04, dead_fraction=0.12,
+    ),
+    # FP/vector-ish: long-latency ops, high ILP, streaming memory.
+    "specfp": WorkloadSpec(
+        name="specfp", frac_alu=0.35, frac_mul=0.25, frac_load=0.22,
+        frac_store=0.10, frac_branch=0.05, dep_distance=10, working_set=16384,
+        random_access_fraction=0.05, mispredict_rate=0.01, dead_fraction=0.08,
+    ),
+    # Transaction processing: branchy, random memory, poor locality.
+    "oltp": WorkloadSpec(
+        name="oltp", frac_alu=0.38, frac_mul=0.02, frac_load=0.28,
+        frac_store=0.14, frac_branch=0.16, dep_distance=3, working_set=65536,
+        random_access_fraction=0.7, mispredict_rate=0.09, dead_fraction=0.18,
+    ),
+    # Web serving: branchy with moderate memory traffic.
+    "web": WorkloadSpec(
+        name="web", frac_alu=0.42, frac_mul=0.02, frac_load=0.24,
+        frac_store=0.12, frac_branch=0.18, dep_distance=4, working_set=8192,
+        random_access_fraction=0.5, mispredict_rate=0.08, dead_fraction=0.20,
+    ),
+    # HPC stencil: streaming, store heavy, few branches.
+    "hpc": WorkloadSpec(
+        name="hpc", frac_alu=0.40, frac_mul=0.18, frac_load=0.22,
+        frac_store=0.16, frac_branch=0.03, dep_distance=12, working_set=32768,
+        random_access_fraction=0.02, mispredict_rate=0.005, dead_fraction=0.05,
+    ),
+    # Pointer chasing: serial dependence chains, random loads.
+    "pointer": WorkloadSpec(
+        name="pointer", frac_alu=0.30, frac_mul=0.01, frac_load=0.38,
+        frac_store=0.06, frac_branch=0.16, dep_distance=1, working_set=131072,
+        random_access_fraction=0.95, mispredict_rate=0.07, dead_fraction=0.10,
+    ),
+    # Compression/crypto kernel: ALU dense, almost no dead code.
+    "kernel": WorkloadSpec(
+        name="kernel", frac_alu=0.62, frac_mul=0.08, frac_load=0.14,
+        frac_store=0.08, frac_branch=0.07, dep_distance=6, working_set=512,
+        mispredict_rate=0.02, dead_fraction=0.02,
+    ),
+    # Idle/housekeeping: NOP and prefetch heavy, much dead work.
+    "idle": WorkloadSpec(
+        name="idle", frac_alu=0.30, frac_mul=0.01, frac_load=0.15,
+        frac_store=0.06, frac_branch=0.12, frac_nop=0.24, frac_prefetch=0.12,
+        dep_distance=4, working_set=2048, dead_fraction=0.40,
+    ),
+}
+
+
+def make_suite(per_class: int = 6, length: int = 10_000, base_seed: int = 100):
+    """Instantiate ``per_class`` seeded variants of every class.
+
+    Returns a list of :class:`WorkloadSpec`; generate lazily with
+    :func:`repro.workloads.generator.generate_trace` to keep memory flat.
+    """
+    specs = []
+    for class_index, (class_name, template) in enumerate(sorted(SUITE_CLASSES.items())):
+        for k in range(per_class):
+            specs.append(
+                replace(
+                    template,
+                    name=f"{class_name}-{k:02d}",
+                    seed=base_seed + 1000 * class_index + k,
+                    length=length,
+                )
+            )
+    return specs
+
+
+def default_suite(per_class: int = 6, length: int = 10_000):
+    """Generate the default suite's traces (48 workloads by default)."""
+    return [generate_trace(spec) for spec in make_suite(per_class, length)]
+
+
+def suite_by_class(class_name: str, count: int = 6, length: int = 10_000):
+    """Generate *count* variants of one workload class."""
+    template = SUITE_CLASSES[class_name]
+    return [
+        generate_trace(replace(template, name=f"{class_name}-{k:02d}", seed=7000 + k, length=length))
+        for k in range(count)
+    ]

@@ -1,0 +1,140 @@
+"""ACE lifetime analysis unit tests (Eq 3 semantics)."""
+
+import pytest
+
+from repro.ace.lifetime import AceLifetimeAnalyzer
+from repro.errors import AceError
+
+
+def _analyzer(entries=4, bits=8, **kw):
+    a = AceLifetimeAnalyzer()
+    a.register("s", entries, bits, **kw)
+    return a
+
+
+def test_write_read_evict_residency():
+    a = _analyzer(entries=1, bits=8)
+    a.on_write("s", 0, cycle=10, ace=True, ace_bits=None, bits=8)
+    a.on_read("s", 0, cycle=30, ace=True)
+    a.on_release("s", 0, cycle=50, consumed=True)
+    stats = a.finish(100)["s"]
+    # ACE residency runs write(10) -> last read(30): 20 cycles x 8 bits.
+    assert stats.ace_bit_cycles == 20 * 8
+    assert stats.avf() == pytest.approx(20 * 8 / (8 * 100))
+
+
+def test_unread_value_is_unace():
+    a = _analyzer(entries=1, bits=8)
+    a.on_write("s", 0, 0, ace=True, ace_bits=None, bits=8)
+    a.on_release("s", 0, 40, consumed=False)
+    stats = a.finish(100)["s"]
+    assert stats.ace_bit_cycles == 0
+    assert stats.avf() == 0.0
+
+
+def test_consumed_without_read_counts_full_span():
+    # e.g. store buffer drain: release IS the consumption.
+    a = _analyzer(entries=1, bits=8)
+    a.on_write("s", 0, 10, ace=True, ace_bits=None, bits=8)
+    a.on_release("s", 0, 25, consumed=True)
+    stats = a.finish(100)["s"]
+    assert stats.ace_bit_cycles == 15 * 8
+
+
+def test_open_segment_counts_as_unknown():
+    a = _analyzer(entries=1, bits=8)
+    a.on_write("s", 0, 60, ace=True, ace_bits=None, bits=8)
+    stats = a.finish(100)["s"]
+    assert stats.unknown_bit_cycles == 40 * 8
+    assert stats.avf() == pytest.approx(40 * 8 / (8 * 100))
+
+
+def test_unace_write_contributes_nothing():
+    a = _analyzer(entries=1, bits=8)
+    a.on_write("s", 0, 0, ace=False, ace_bits=None, bits=8)
+    a.on_read("s", 0, 50, ace=False)
+    a.on_release("s", 0, 60, consumed=True)
+    stats = a.finish(100)["s"]
+    assert stats.ace_bit_cycles == 0
+    assert stats.ace_reads == 0
+
+
+def test_bitfield_weighting():
+    a = _analyzer(entries=1, bits=10)
+    a.on_write("s", 0, 0, ace=True, ace_bits=3, bits=10)  # 3 of 10 bits ACE
+    a.on_read("s", 0, 10, ace=True)
+    a.on_release("s", 0, 20, consumed=True)
+    stats = a.finish(10)["s"]
+    assert stats.ace_bit_cycles == 10 * 3
+    assert stats.pavf_r_bitwise() == pytest.approx(3 / (10 * 10))
+    assert stats.pavf_r() == pytest.approx(1 / 10)
+
+
+def test_overwrite_closes_previous_segment():
+    a = _analyzer(entries=1, bits=4)
+    a.on_write("s", 0, 0, ace=True, ace_bits=None, bits=4)
+    a.on_read("s", 0, 5, ace=True)
+    a.on_write("s", 0, 9, ace=True, ace_bits=None, bits=4)  # overwrite
+    a.on_read("s", 0, 12, ace=True)
+    a.on_release("s", 0, 20, consumed=True)
+    stats = a.finish(20)["s"]
+    assert stats.ace_bit_cycles == (5 - 0) * 4 + (12 - 9) * 4
+
+
+def test_port_rates_normalized_by_ports():
+    a = _analyzer(entries=4, bits=8, nread=2, nwrite=2)
+    for entry in range(4):
+        a.on_write("s", entry, entry, ace=True, ace_bits=None, bits=8)
+        a.on_read("s", entry, entry + 1, ace=True)
+        a.on_release("s", entry, entry + 2, consumed=True)
+    stats = a.finish(10)["s"]
+    assert stats.pavf_r() == pytest.approx(4 / (10 * 2))
+    assert stats.pavf_w() == pytest.approx(4 / (10 * 2))
+
+
+def test_event_errors():
+    a = _analyzer()
+    with pytest.raises(AceError, match="unregistered"):
+        a.on_write("ghost", 0, 0, True, None, 8)
+    with pytest.raises(AceError, match="read before write"):
+        a.on_read("s", 0, 0, True)
+    with pytest.raises(AceError, match="release before write"):
+        a.on_release("s", 0, 0, True)
+    with pytest.raises(AceError, match="twice"):
+        a.register("s", 4, 8)
+    a.finish(1)
+    with pytest.raises(AceError, match="twice"):
+        a.finish(1)
+
+
+def test_mean_ace_latency_and_throughput():
+    a = _analyzer(entries=2, bits=8)
+    a.on_write("s", 0, 0, ace=True, ace_bits=None, bits=8)
+    a.on_read("s", 0, 10, ace=True)
+    a.on_release("s", 0, 10, consumed=True)
+    a.on_write("s", 1, 0, ace=True, ace_bits=None, bits=8)
+    a.on_read("s", 1, 30, ace=True)
+    a.on_release("s", 1, 30, consumed=True)
+    stats = a.finish(100)["s"]
+    assert a.mean_ace_latency("s") == pytest.approx(20.0)
+    assert stats.ace_throughput() == pytest.approx(2 / 100)
+
+
+def test_littles_law_relationship():
+    """AVF ~ latency x throughput / bits-normalization (paper Section 4).
+
+    With every write ACE and full-entry widths, ACE bit-cycles equal
+    (sum of residencies) x bits, so AVF == mean_latency x throughput / entries.
+    """
+    a = _analyzer(entries=4, bits=16)
+    spans = [(0, 10), (5, 25), (40, 90), (50, 60)]
+    for entry, (start, end) in enumerate(spans):
+        a.on_write("s", entry, start, ace=True, ace_bits=None, bits=16)
+        a.on_read("s", entry, end, ace=True)
+        a.on_release("s", entry, end, consumed=True)
+    cycles = 100
+    stats = a.finish(cycles)["s"]
+    latency = a.mean_ace_latency("s")
+    throughput = stats.ace_throughput()
+    little = latency * throughput / stats.entries
+    assert stats.avf() == pytest.approx(little)

@@ -1,0 +1,109 @@
+"""Quantized (windowed) AVF tests."""
+
+import pytest
+
+from repro.ace.quantized import TeeRecorder, WindowedPortCounter, quantized_seq_avf
+from repro.core.graphmodel import StructurePorts
+from repro.core.sart import SartConfig, run_sart
+from repro.errors import AceError
+from repro.netlist.builder import ModuleBuilder
+
+
+class TestWindowedCounter:
+    def test_counts_land_in_right_windows(self):
+        c = WindowedPortCounter(window=10)
+        c.register("s")
+        c.on_read("s", 0, cycle=3, ace=True)
+        c.on_read("s", 0, cycle=9, ace=True)
+        c.on_read("s", 0, cycle=10, ace=True)   # second window
+        c.on_read("s", 0, cycle=25, ace=False)  # un-ACE: ignored
+        c.on_write("s", 0, cycle=15, ace=True, ace_bits=None, bits=8)
+        tables = c.window_ports(total_cycles=30)
+        assert len(tables) == 3
+        assert tables[0]["s"].pavf_r == pytest.approx(2 / 10)
+        assert tables[1]["s"].pavf_r == pytest.approx(1 / 10)
+        assert tables[1]["s"].pavf_w == pytest.approx(1 / 10)
+        assert tables[2]["s"].pavf_r == 0.0
+
+    def test_partial_tail_window_normalized(self):
+        c = WindowedPortCounter(window=10)
+        c.register("s")
+        c.on_read("s", 0, cycle=22, ace=True)
+        tables = c.window_ports(total_cycles=24)
+        assert tables[2]["s"].pavf_r == pytest.approx(1 / 4)  # 4-cycle tail
+
+    def test_port_normalization(self):
+        c = WindowedPortCounter(window=10)
+        c.register("s", nread=2)
+        for cycle in range(10):
+            c.on_read("s", 0, cycle, ace=True)
+        tables = c.window_ports(total_cycles=10)
+        assert tables[0]["s"].pavf_r == pytest.approx(0.5)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(AceError):
+            WindowedPortCounter(window=0)
+
+
+def test_tee_recorder_fans_out():
+    a = WindowedPortCounter(window=5)
+    b = WindowedPortCounter(window=5)
+    a.register("s")
+    b.register("s")
+    tee = TeeRecorder(a, b, None)
+    tee.on_read("s", 0, 1, True)
+    tee.on_write("s", 0, 2, True, None, 8)
+    tee.on_release("s", 0, 3, True)
+    for counter in (a, b):
+        t = counter.window_ports(5)
+        assert t[0]["s"].pavf_r > 0 and t[0]["s"].pavf_w > 0
+
+
+def test_quantized_time_series_through_closed_form():
+    # A pipeline between two structures: windowed port AVFs in, per-window
+    # sequential AVF out, with no re-walk.
+    b = ModuleBuilder("m")
+    tie = b.input("tie_in")
+    src = b.dff(tie, name="src", attrs={"struct": "S", "bit": "0"})
+    stage = b.dff(src, name="stage")
+    b.dff(stage, name="snk", attrs={"struct": "K", "bit": "0"})
+    base_ports = {
+        "S": StructurePorts("S", pavf_r=0.5, pavf_w=0.0, avf=0.5),
+        "K": StructurePorts("K", pavf_r=0.0, pavf_w=1.0, avf=0.5),
+    }
+    result = run_sart(b.done(), base_ports, SartConfig(partition_by_fub=False))
+    closed = result.closed_form()
+
+    windows = [
+        {"S": StructurePorts("S", pavf_r=r, pavf_w=0.0),
+         "K": StructurePorts("K", pavf_r=0.0, pavf_w=1.0)}
+        for r in (0.1, 0.9, 0.0)
+    ]
+    series = quantized_seq_avf(closed, windows)
+    assert series == pytest.approx([0.1, 0.9, 0.0])
+
+
+def test_end_to_end_windowed_perfmodel():
+    """Windowed counting alongside the normal lifetime analysis."""
+    from repro.ace.lifetime import AceLifetimeAnalyzer
+    from repro.perfmodel.pipeline import Pipeline, PipelineConfig
+    from repro.perfmodel.trace import mark_ace
+    from repro.workloads.generator import WorkloadSpec, generate_trace
+
+    trace = mark_ace(generate_trace(WorkloadSpec(name="q", length=3000)))
+    lifetime = AceLifetimeAnalyzer()
+    windows = WindowedPortCounter(window=200)
+    pipeline = Pipeline(trace, PipelineConfig(), recorder=TeeRecorder(lifetime, windows))
+    for s in pipeline.structures:
+        lifetime.register(s.name, s.entries, s.bits_per_entry, s.nread, s.nwrite)
+        windows.register(s.name, s.nread, s.nwrite)
+    stats = pipeline.run()
+    lifetime.finish(stats.cycles)
+    tables = windows.window_ports(stats.cycles)
+    assert len(tables) == -(-stats.cycles // 200)
+    # Aggregate of windowed ACE reads equals the lifetime analyzer's count.
+    total_reads = sum(
+        t["rob"].pavf_r * min(200, stats.cycles - i * 200) * lifetime.structures["rob"].nread
+        for i, t in enumerate(tables)
+    )
+    assert total_reads == pytest.approx(lifetime.structures["rob"].ace_reads, abs=1.0)

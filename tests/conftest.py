@@ -1,0 +1,67 @@
+"""Shared fixtures: canonical circuits used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graphmodel import StructurePorts
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.netlist import Module
+
+
+def make_fig7() -> tuple[Module, dict[str, str]]:
+    """The paper's Figure 7 propagation example.
+
+    Structures S1/S2 feed a pipeline with a join (G1) whose output
+    reconverges with the S1 path at a second join (G2); Q3a/Q3b land in
+    S3/S4. Returns the module and the net of each labelled element.
+    """
+    b = ModuleBuilder("fig7")
+    tie = b.input("tie_in")
+    s1 = b.dff(tie, name="s1", attrs={"struct": "S1", "bit": "0"})
+    s2 = b.dff(tie, name="s2", attrs={"struct": "S2", "bit": "0"})
+    q1a = b.dff(s1, name="q1a")
+    q2a = b.dff(q1a, name="q2a")
+    q1b = b.dff(s2, name="q1b")
+    g1 = b.or_(q1a, q1b, name="g1")
+    q3b = b.dff(g1, name="q3b")
+    g2 = b.and_(q2a, g1, name="g2")
+    q3a = b.dff(g2, name="q3a")
+    s3 = b.dff(q3a, name="s3", attrs={"struct": "S3", "bit": "0"})
+    s4 = b.dff(q3b, name="s4", attrs={"struct": "S4", "bit": "0"})
+    b.output("out")
+    b.gate("BUF", [s3], out="out")
+    b.output("out2")
+    b.gate("BUF", [s4], out="out2")
+    nets = dict(
+        s1=s1, s2=s2, q1a=q1a, q2a=q2a, q1b=q1b, g1=g1, q3b=q3b, g2=g2, q3a=q3a, s4=s4
+    )
+    return b.done(), nets
+
+
+FIG7_STRUCTS = {
+    "S1": StructurePorts("S1", pavf_r=0.10, pavf_w=0.0, avf=0.25),
+    "S2": StructurePorts("S2", pavf_r=0.02, pavf_w=0.0, avf=0.25),
+    "S3": StructurePorts("S3", pavf_r=0.0, pavf_w=0.05, avf=0.25),
+    "S4": StructurePorts("S4", pavf_r=0.0, pavf_w=0.40, avf=0.25),
+}
+
+
+@pytest.fixture
+def fig7():
+    module, nets = make_fig7()
+    return module, nets, dict(FIG7_STRUCTS)
+
+
+def make_simple_pipe(depth: int = 3) -> tuple[Module, list[str]]:
+    """Figure 1: S1 read port -> straight flop pipeline -> S2 write port."""
+    b = ModuleBuilder("pipe")
+    tie = b.input("tie_in")
+    src = b.dff(tie, name="s1", attrs={"struct": "S1", "bit": "0"})
+    stages = []
+    cur = src
+    for i in range(depth):
+        cur = b.dff(cur, name=f"q{i}")
+        stages.append(cur)
+    b.dff(cur, name="s2", attrs={"struct": "S2", "bit": "0"})
+    return b.done(), stages

@@ -1,0 +1,125 @@
+"""tinycore execution: archsim semantics + gate-level equivalence."""
+
+import pytest
+
+from repro.designs.tinycore.archsim import ArchSim, run_program, trace_from_program
+from repro.designs.tinycore.assembler import assemble
+from repro.designs.tinycore.core import build_tinycore
+from repro.designs.tinycore.harness import run_gate_level, verify_against_archsim
+from repro.designs.tinycore.programs import all_programs, default_dmem, program
+from repro.errors import SimulationError
+
+
+def _run(source, dmem=None):
+    return run_program(assemble(source), dmem)
+
+
+class TestArchSim:
+    def test_alu_and_out(self):
+        sim = _run("LDI r1, 20\nLDI r2, 22\nADD r3, r1, r2\nOUT r3\nHALT\n")
+        assert [v for _, v in sim.outputs] == [42]
+
+    def test_r0_is_zero(self):
+        sim = _run("LDI r1, 5\nADD r0, r1, r1\nOUT r0\nHALT\n")
+        assert sim.outputs[-1][1] == 0
+        assert sim.regs[0] == 0
+
+    def test_sixteen_bit_wraparound(self):
+        sim = _run("LDI r1, 0xFF\n" + "SHL r1, r1\n" * 8 + "ADDI r1, r1, 1\nOUT r1\nHALT\n")
+        assert sim.outputs[-1][1] == ((0xFF << 8) + 1) & 0xFFFF
+
+    def test_memory_roundtrip(self):
+        sim = _run("LDI r1, 7\nLDI r2, 3\nST r1, r2, 5\nLD r3, r2, 5\nOUT r3\nHALT\n")
+        assert sim.outputs[-1][1] == 7
+        assert sim.dmem[8] == 7
+
+    def test_branches(self):
+        sim = _run("""
+            LDI r1, 3
+            LDI r2, 0
+        loop:
+            ADDI r2, r2, 2
+            ADDI r1, r1, 0
+            SUB r1, r1, r0
+            LDI r3, 1
+            SUB r1, r1, r3
+            BNE r1, r0, loop
+            OUT r2
+            HALT
+        """)
+        assert sim.outputs[-1][1] == 6
+
+    def test_shift_modes(self):
+        sim = _run("LDI r1, 0x81\nSHL r2, r1\nSHR r3, r1\nROL r4, r1\nOUT r2\nOUT r3\nOUT r4\nHALT\n")
+        outs = [v for _, v in sim.outputs]
+        assert outs == [0x102, 0x40, 0x102]  # 16-bit rol of 0x81 = 0x102
+
+    def test_rol_wraps_msb(self):
+        sim = _run("LDI r1, 0x80\n" + "SHL r1, r1\n" * 8 + "ROL r2, r1\nOUT r2\nHALT\n")
+        assert sim.outputs[-1][1] == 1  # 0x8000 rotated left -> 1
+
+    def test_runaway_detected(self):
+        with pytest.raises(SimulationError, match="no HALT"):
+            _run("loop: JMP loop\n", None)
+
+    def test_trace_extraction(self):
+        trace, sim = trace_from_program("t", assemble("LDI r1, 1\nOUT r1\nNOP\nHALT\n"))
+        assert [i.op for i in trace.insts] == ["alu", "output", "nop", "output"]
+        assert trace.insts[0].ace is True   # feeds the OUT
+        assert trace.insts[2].ace is False  # NOP
+
+
+class TestGateLevel:
+    @pytest.mark.parametrize("name", [n for n, _, _ in all_programs()])
+    def test_all_programs_match_archsim(self, name):
+        gate, arch = verify_against_archsim(program(name), default_dmem(name))
+        assert gate.outputs[0] == [v for _, v in arch.outputs]
+
+    def test_load_use_stall_correctness(self):
+        # Consumer immediately after a load exercises the stall path.
+        hazard = "LDI r1, 9\nST r1, r0, 4\nLD r2, r0, 4\nADD r3, r2, r2\nOUT r3\nHALT\n"
+        gate, arch = verify_against_archsim(assemble(hazard))
+        assert gate.outputs[0] == [18]
+        # Same program without the load-use dependence runs a cycle faster.
+        free = "LDI r1, 9\nST r1, r0, 4\nLD r2, r0, 4\nADD r3, r1, r1\nOUT r3\nHALT\n"
+        gate_free, _ = verify_against_archsim(assemble(free))
+        assert gate_free.outputs[0] == [18]
+        assert gate.cycles == gate_free.cycles + 1
+
+    def test_branch_flush_correctness(self):
+        src = """
+            LDI r1, 1
+            BEQ r1, r1, skip
+            LDI r2, 99   ; wrong path, must be squashed
+            OUT r2
+        skip:
+            OUT r1
+            HALT
+        """
+        gate, arch = verify_against_archsim(assemble(src))
+        assert gate.outputs[0] == [1]
+
+    def test_bypass_chain(self):
+        # Back-to-back dependent ALU ops exercise EX->DE forwarding.
+        src = "LDI r1, 1\nADD r2, r1, r1\nADD r3, r2, r2\nADD r4, r3, r3\nOUT r4\nHALT\n"
+        gate, _ = verify_against_archsim(assemble(src))
+        assert gate.outputs[0] == [8]
+
+    def test_fault_lane_diverges_golden_stays(self):
+        from repro.rtlsim.simulator import Simulator
+
+        words = program("fib")
+        net = build_tinycore(words)
+        golden = run_gate_level(words, netlist=net)
+        instr_flop = next(
+            i.conn["q"] for i in net.module.sequential_instances()
+            if i.name == "d_instr[3]"
+        )
+
+        def inject(sim, cycle):
+            if cycle == 5:
+                sim.flip(instr_flop, 0b10)  # lane 1 only
+
+        sim = Simulator(net.module, lanes=2)
+        run = run_gate_level(words, netlist=net, sim=sim, on_cycle=inject)
+        assert run.outputs[0] == golden.outputs[0]

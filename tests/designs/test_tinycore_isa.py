@@ -1,0 +1,110 @@
+"""tinycore ISA encode/decode and assembler tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.tinycore.assembler import assemble
+from repro.designs.tinycore.isa import OPCODES, Decoded, decode, encode
+from repro.errors import AssemblerError
+
+
+class TestEncoding:
+    def test_rrr_roundtrip(self):
+        word = encode("ADD", rd=3, rs=1, rt=7)
+        d = decode(word)
+        assert (d.op, d.rd, d.rs, d.rt) == ("ADD", 3, 1, 7)
+
+    def test_ldi_roundtrip(self):
+        d = decode(encode("LDI", rd=5, imm=0xAB))
+        assert (d.op, d.rd, d.imm) == ("LDI", 5, 0xAB)
+
+    def test_branch_negative_offset(self):
+        d = decode(encode("BEQ", rs=1, rt=2, imm=-5))
+        assert (d.op, d.rs, d.rt, d.imm) == ("BEQ", 1, 2, -5)
+
+    def test_store_field_positions(self):
+        d = decode(encode("ST", rt=6, rs=2, imm=9))
+        assert (d.rt, d.rs, d.imm) == (6, 2, 9)
+
+    def test_jmp_wide_immediate(self):
+        d = decode(encode("JMP", imm=0x3FF))
+        assert d.imm == 0x3FF
+
+    @pytest.mark.parametrize(
+        "op,kw",
+        [
+            ("ADDI", dict(imm=64)),
+            ("LDI", dict(imm=256)),
+            ("BEQ", dict(imm=32)),
+            ("BEQ", dict(imm=-33)),
+            ("JMP", dict(imm=1 << 12)),
+        ],
+    )
+    def test_immediate_range_checks(self, op, kw):
+        with pytest.raises(AssemblerError):
+            encode(op, **kw)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError):
+            encode("FROB")
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 0xFFFF))
+    def test_decode_total(self, word):
+        d = decode(word)
+        assert d.op in OPCODES
+
+    def test_reads_and_writes_sets(self):
+        assert Decoded("ADD", rd=1, rs=2, rt=3).reads() == (2, 3)
+        assert Decoded("ST", rt=4, rs=2).reads() == (2, 4)
+        assert Decoded("LDI", rd=1).reads() == ()
+        assert Decoded("ADD", rd=0, rs=1, rt=1).writes_reg() is False  # r0 sink
+        assert Decoded("LD", rd=3).writes_reg() is True
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        words = assemble("""
+        start:  LDI r1, 3
+        loop:   ADDI r1, r1, 1
+                BNE r1, r0, loop
+                JMP start
+        """)
+        assert len(words) == 4
+        d = decode(words[2])
+        assert d.op == "BNE" and d.imm == -2
+        assert decode(words[3]).imm == 0
+
+    def test_shift_sugar(self):
+        words = assemble("SHL r1, r2\nSHR r3, r4\nROL r5, r6\n")
+        assert [decode(w).rt for w in words] == [0, 1, 2]
+        assert all(decode(w).op == "SHIFT" for w in words)
+
+    def test_comments_and_case(self):
+        words = assemble("; header\n  ldi R1, 7 ; inline\n  halt\n")
+        assert decode(words[0]).op == "LDI"
+        assert decode(words[1]).op == "HALT"
+
+    def test_word_directive(self):
+        words = assemble(".word 0xBEEF\n")
+        assert words == [0xBEEF]
+
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("ADD r1, r2\n", "expects 3"),
+            ("LDI r9, 1\n", "bad register"),
+            ("JMP nowhere\n", "unknown label"),
+            ("x: x: NOP\n", "duplicate label"),
+            ("WIBBLE r1\n", "unknown mnemonic"),
+            ("BEQ r1, r2, far\n" + "NOP\n" * 40 + "far: HALT\n", "out of range"),
+        ],
+    )
+    def test_errors(self, source, match):
+        with pytest.raises(AssemblerError, match=match):
+            assemble(source)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("NOP\nNOP\nADD r1\n")

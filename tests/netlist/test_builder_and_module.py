@@ -1,0 +1,98 @@
+"""Tests for Module/Instance datatypes and the ModuleBuilder API."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import ModuleBuilder, bus
+from repro.netlist.netlist import INPUT, OUTPUT, Instance, Module, Port
+
+
+def test_bus_naming():
+    assert bus("x", 3) == ["x[0]", "x[1]", "x[2]"]
+
+
+def test_port_direction_validated():
+    with pytest.raises(NetlistError):
+        Port("p", "sideways")
+
+
+def test_duplicate_port_rejected():
+    m = Module("m")
+    m.add_port("a", INPUT)
+    with pytest.raises(NetlistError):
+        m.add_port("a", OUTPUT)
+
+
+def test_duplicate_instance_rejected():
+    m = Module("m")
+    m.add_instance(Instance("i", "BUF", {"a": "x", "y": "y"}))
+    with pytest.raises(NetlistError):
+        m.add_instance(Instance("i", "BUF", {"a": "x", "y": "z"}))
+
+
+def test_multiply_driven_net_detected():
+    m = Module("m")
+    m.add_instance(Instance("i1", "BUF", {"a": "x", "y": "y"}))
+    m.add_instance(Instance("i2", "BUF", {"a": "x", "y": "y"}))
+    with pytest.raises(NetlistError):
+        m.drivers()
+
+
+def test_variadic_input_pins_ordered():
+    inst = Instance("g", "AND", {"a2": "c", "a0": "a", "a10": "k", "a1": "b", "y": "y"})
+    assert inst.input_pins() == ["a0", "a1", "a2", "a10"]
+
+
+def test_builder_gate_arity_checks():
+    b = ModuleBuilder("m")
+    x = b.input("x")
+    with pytest.raises(NetlistError):
+        b.gate("MUX2", [x])  # needs 3 pins
+    with pytest.raises(NetlistError):
+        b.gate("AND", [])  # variadic needs >= 1
+    with pytest.raises(NetlistError):
+        b.gate("DFF", [x])  # sequential is not a gate
+
+
+def test_builder_default_attrs_merge():
+    b = ModuleBuilder("m", default_attrs={"fub": "IEU"})
+    x = b.input("x")
+    y = b.gate("BUF", [x], attrs={"extra": "1"})
+    inst = next(iter(b.module.instances.values()))
+    assert inst.attrs == {"fub": "IEU", "extra": "1"}
+    assert y in b.module.nets
+
+
+def test_dff_bus_init_spread():
+    b = ModuleBuilder("m")
+    d = b.input_bus("d", 4)
+    q = b.dff_bus(d, name="r", init=0b1010)
+    insts = [b.module.instances[f"r[{i}]"] for i in range(4)]
+    assert [i.params["init"] for i in insts] == [0, 1, 0, 1]
+    assert q == [i.conn["q"] for i in insts]
+
+
+def test_mem_width_checks():
+    b = ModuleBuilder("m")
+    ra = b.input_bus("ra", 2)
+    wa = b.input_bus("wa", 2)
+    wd = b.input_bus("wd", 4)
+    we = b.input("we")
+    with pytest.raises(NetlistError):
+        b.mem(4, 4, [ra], wa[:1], wd, we)  # waddr too narrow
+    with pytest.raises(NetlistError):
+        b.mem(4, 4, [ra], wa, wd[:2], we)  # wdata too narrow
+    rdata = b.mem(4, 4, [ra], wa, wd, we)
+    assert len(rdata) == 1 and len(rdata[0]) == 4
+
+
+def test_sequential_instances_and_stats():
+    b = ModuleBuilder("m")
+    x = b.input("x")
+    q = b.dff(x)
+    b.dff(q)
+    m = b.done()
+    assert len(m.sequential_instances()) == 2
+    stats = m.stats()
+    assert stats["DFF"] == 2
+    assert stats["instances"] == 2

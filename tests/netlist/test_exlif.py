@@ -1,0 +1,101 @@
+"""EXLIF serialization round-trips and parse errors."""
+
+import pytest
+
+from repro.errors import ExlifParseError
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.exlif import parse_exlif, write_exlif
+from tests.conftest import make_fig7
+
+
+def _roundtrip(module):
+    text = write_exlif(module)
+    return parse_exlif(text)[module.name]
+
+
+def test_roundtrip_preserves_everything():
+    module, _ = make_fig7()
+    again = _roundtrip(module)
+    assert set(again.ports) == set(module.ports)
+    assert set(again.instances) == set(module.instances)
+    for name, inst in module.instances.items():
+        got = again.instances[name]
+        assert got.kind == inst.kind
+        assert got.conn == inst.conn
+        assert got.attrs == inst.attrs
+        if inst.kind == "DFF":
+            assert got.params["init"] == inst.params.get("init", 0)
+
+
+def test_roundtrip_mem_with_init():
+    b = ModuleBuilder("m")
+    ra = b.input_bus("ra", 2)
+    wa = b.input_bus("wa", 2)
+    wd = b.input_bus("wd", 4)
+    we = b.input("we")
+    b.mem(4, 4, [ra], wa, wd, we, name="arr", init=[1, 2, 3, 4], attrs={"struct": "S"})
+    again = _roundtrip(b.done())
+    inst = again.instances["arr"]
+    assert inst.params == {"depth": 4, "width": 4, "nread": 1, "init": [1, 2, 3, 4]}
+    assert inst.attrs == {"struct": "S"}
+
+
+def test_multiple_models_in_one_file():
+    a, _ = make_fig7()
+    b = ModuleBuilder("other")
+    x = b.input("x")
+    b.output("y")
+    b.gate("BUF", [x], out="y")
+    text = write_exlif({"fig7": a, "other": b.done()})
+    mods = parse_exlif(text)
+    assert list(mods) == ["fig7", "other"]
+
+
+def test_subckt_roundtrip():
+    b = ModuleBuilder("top")
+    x = b.input("x")
+    b.output("y")
+    b.subckt("child", {"a": x, "z": "y"}, name="u0", attrs={"fub": "F"})
+    again = _roundtrip(b.done())
+    inst = again.instances["u0"]
+    assert inst.kind == "child"
+    assert inst.conn == {"a": "x", "z": "y"}
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+# header comment
+.model m
+.inputs a
+.outputs y   # trailing comment
+.gate BUF b0 a=a y=y
+.end
+"""
+    mod = parse_exlif(text)["m"]
+    assert "b0" in mod.instances
+
+
+@pytest.mark.parametrize(
+    "text,match",
+    [
+        (".gate AND g a0=x y=y\n", "outside .model"),
+        (".model m\n.model n\n", "nested"),
+        (".model m\n.latch r q=q\n.end\n", "requires d="),
+        (".model m\n.gate WIBBLE g a0=x y=y\n.end\n", "unknown combinational"),
+        (".model m\n.gate AND g a0\n.end\n", "malformed field"),
+        (".model m\n.frobnicate x\n.end\n", "unknown directive"),
+        (".model m\n.mem r width=2 nread=1 wen=w\n.end\n", "missing parameter"),
+        (".model m\n", "not terminated"),
+        (".model m\n.end\n.model m\n.end\n", "duplicate module"),
+        (".model m\n.gate AND g a0=x a0=z y=y\n.end\n", "duplicate field"),
+    ],
+)
+def test_parse_errors(text, match):
+    with pytest.raises(ExlifParseError, match=match):
+        parse_exlif(text)
+
+
+def test_line_numbers_reported():
+    text = ".model m\n.gate AND g a0\n.end\n"
+    with pytest.raises(ExlifParseError, match="line 2"):
+        parse_exlif(text)

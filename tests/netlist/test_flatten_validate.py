@@ -1,0 +1,132 @@
+"""Hierarchy flattening and structural validation."""
+
+import pytest
+
+from repro.errors import NetlistError, ValidationError
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.flatten import flatten
+from repro.netlist.validate import find_combinational_cycle, validate_module
+
+
+def _leaf():
+    b = ModuleBuilder("leaf")
+    a = b.input("a")
+    b.output("y")
+    q = b.dff(a, name="reg")
+    b.gate("BUF", [q], out="y")
+    return b.done()
+
+
+def _mid():
+    b = ModuleBuilder("mid")
+    a = b.input("a")
+    b.output("y")
+    b.add_net = b.module.add_net
+    mid_net = b.fresh("w")
+    b.subckt("leaf", {"a": a, "y": mid_net}, name="u0", attrs={"fub": "MID"})
+    b.subckt("leaf", {"a": mid_net, "y": "y"}, name="u1")
+    return b.done()
+
+
+def test_flatten_two_levels():
+    lib = {"leaf": _leaf(), "mid": _mid()}
+    b = ModuleBuilder("top")
+    a = b.input("a")
+    b.output("y")
+    b.subckt("mid", {"a": a, "y": "y"}, name="core", attrs={"fub": "TOP"})
+    flat = flatten(b.done(), lib)
+    names = set(flat.instances)
+    assert "core/u0/reg" in names and "core/u1/reg" in names
+    # attrs inherit downward; closest setting wins
+    assert flat.instances["core/u0/reg"].attrs["fub"] == "MID"
+    assert flat.instances["core/u1/reg"].attrs["fub"] == "TOP"
+    validate_module(flat)
+
+
+def test_flatten_missing_module():
+    b = ModuleBuilder("top")
+    a = b.input("a")
+    b.subckt("ghost", {"a": a}, name="u")
+    with pytest.raises(NetlistError, match="ghost"):
+        flatten(b.done(), {})
+
+
+def test_flatten_unconnected_port():
+    b = ModuleBuilder("top")
+    a = b.input("a")
+    b.subckt("leaf", {"a": a}, name="u")  # y missing
+    with pytest.raises(NetlistError, match="unconnected"):
+        flatten(b.done(), {"leaf": _leaf()})
+
+
+def test_flatten_recursion_detected():
+    b = ModuleBuilder("rec")
+    a = b.input("a")
+    b.output("y")
+    b.subckt("rec", {"a": a, "y": "y"}, name="self")
+    m = b.done()
+    with pytest.raises(NetlistError, match="recursive"):
+        flatten(m, {"rec": m})
+
+
+def test_validate_flags_undriven_net():
+    b = ModuleBuilder("m")
+    b.output("y")
+    b.gate("BUF", ["nowhere"], out="y")
+    with pytest.raises(ValidationError, match="undriven"):
+        validate_module(b.done())
+
+
+def test_validate_flags_undriven_output():
+    b = ModuleBuilder("m")
+    b.input("a")
+    b.output("y")
+    with pytest.raises(ValidationError, match="primary output"):
+        validate_module(b.done())
+
+
+def test_validate_flags_combinational_cycle():
+    b = ModuleBuilder("m")
+    a = b.input("a")
+    m = b.module
+    m.add_net("n1")
+    m.add_net("n2")
+    b.gate("AND", [a, "n2"], out="n1")
+    b.gate("BUF", ["n1"], out="n2")
+    b.output("y")
+    b.gate("BUF", ["n1"], out="y")
+    with pytest.raises(ValidationError, match="combinational cycle"):
+        validate_module(b.done())
+
+
+def test_dff_breaks_cycle():
+    b = ModuleBuilder("m")
+    a = b.input("a")
+    m = b.module
+    m.add_net("loop")
+    g = b.gate("AND", [a, "loop"])
+    b.dff(g, q="loop")
+    assert find_combinational_cycle(b.done()) is None
+    validate_module(b.done())
+
+
+def test_mem_read_addr_to_data_is_combinational():
+    # raddr -> rdata is a combinational arc: routing rdata back into raddr
+    # through gates must be flagged as a cycle.
+    b = ModuleBuilder("m")
+    wa = b.input_bus("wa", 1)
+    wd = b.input_bus("wd", 1)
+    we = b.input("we")
+    m = b.module
+    m.add_net("ra0")
+    rdata = b.mem(2, 1, [["ra0"]], wa, wd, we, name="mm")[0]
+    b.gate("BUF", [rdata[0]], out="ra0")
+    assert find_combinational_cycle(b.done()) is not None
+
+
+def test_validate_rejects_nonflat_when_required():
+    b = ModuleBuilder("m")
+    a = b.input("a")
+    b.subckt("child", {"a": a}, name="u")
+    with pytest.raises(ValidationError, match="primitive"):
+        validate_module(b.done(), require_flat=True)

@@ -1,0 +1,59 @@
+"""Property tests: the pipeline completes and balances on random workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.machine import MachineConfig, run_workload
+from repro.workloads.generator import WorkloadSpec, generate_trace
+
+spec_strategy = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    length=st.integers(200, 1200),
+    seed=st.integers(0, 10_000),
+    frac_alu=st.floats(0.2, 0.7),
+    frac_load=st.floats(0.05, 0.4),
+    frac_store=st.floats(0.0, 0.3),
+    frac_branch=st.floats(0.0, 0.3),
+    frac_nop=st.floats(0.0, 0.2),
+    dep_distance=st.integers(1, 12),
+    dead_fraction=st.floats(0.0, 0.7),
+    mispredict_rate=st.floats(0.0, 0.2),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec_strategy)
+def test_every_workload_completes_and_balances(spec):
+    trace = generate_trace(spec)
+    result = run_workload(trace)
+    # Everything fetched eventually commits.
+    assert result.stats.committed == len(trace)
+    assert result.cycles >= len(trace) // 4  # 4-wide upper bound on IPC
+    # Event balance: transit structures see one read per instruction; the
+    # fetch buffer additionally absorbs squashed wrong-path writes.
+    for name in ("fetch_buffer", "inst_queue", "rob"):
+        stats = result.structures[name]
+        assert stats.total_reads == len(trace)
+        extra = result.stats.wrong_path_fetched if name == "fetch_buffer" else 0
+        assert stats.total_writes == len(trace) + extra
+    # AVFs and port rates are probabilities.
+    for stats in result.structures.values():
+        assert 0.0 <= stats.avf() <= 1.0
+        assert 0.0 <= stats.pavf_r() <= 1.0
+        assert 0.0 <= stats.pavf_w() <= 1.0
+        assert stats.pavf_r_bitwise() <= stats.pavf_r() + 1e-12
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec_strategy, st.integers(2, 6))
+def test_smaller_rob_never_faster(spec, rob_shrink):
+    # Wrong-path modelling off: its fetch-buffer occupancy interacts with
+    # bubble timing and can wiggle cycle counts by a few cycles either way.
+    trace_a = generate_trace(spec)
+    big = run_workload(trace_a, MachineConfig(rob_entries=64, model_wrong_path=False))
+    trace_b = generate_trace(spec)
+    small = run_workload(
+        trace_b, MachineConfig(rob_entries=64 // rob_shrink, model_wrong_path=False)
+    )
+    assert small.cycles >= big.cycles

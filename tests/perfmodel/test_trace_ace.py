@@ -1,0 +1,101 @@
+"""Instruction-level ACE classification (dynamic dead-code analysis)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.perfmodel.isa import Inst
+from repro.perfmodel.trace import Trace, mark_ace, merge_traces
+
+
+def _trace(*insts):
+    t = Trace(name="t", insts=[Inst(seq=i, **kw) for i, kw in enumerate(insts)])
+    t.validate()
+    return t
+
+
+def test_store_and_branch_are_ace_roots():
+    t = _trace(
+        dict(op="alu", dst=1, srcs=()),
+        dict(op="store", srcs=(1, 1), addr=0),
+        dict(op="branch", srcs=(1,), taken=True),
+    )
+    mark_ace(t)
+    assert [i.ace for i in t.insts] == [True, True, True]
+
+
+def test_nop_and_prefetch_never_ace():
+    t = _trace(dict(op="nop"), dict(op="prefetch", addr=4))
+    mark_ace(t)
+    assert [i.ace for i in t.insts] == [False, False]
+
+
+def test_first_level_dead_code():
+    # r1 written then overwritten without a read: the first write is dead —
+    # but only if it isn't the live-out value.
+    t = _trace(
+        dict(op="alu", dst=1, srcs=()),          # dead (overwritten below)
+        dict(op="alu", dst=1, srcs=()),          # live-out -> ACE (unknown)
+        dict(op="store", srcs=(1,), addr=0),
+    )
+    mark_ace(t)
+    assert t.insts[0].ace is False
+    assert t.insts[1].ace is True
+
+
+def test_transitively_dead_code():
+    # r2 = f(r1); r2 never used and overwritten; r1 only feeds r2 -> both dead.
+    t = _trace(
+        dict(op="alu", dst=1, srcs=()),          # feeds only the dead chain
+        dict(op="alu", dst=2, srcs=(1,)),        # dead
+        dict(op="alu", dst=2, srcs=()),          # overwrites r2
+        dict(op="store", srcs=(2,), addr=0),
+        dict(op="alu", dst=1, srcs=()),          # overwrite r1 so 0 isn't live-out
+        dict(op="store", srcs=(1,), addr=4),
+    )
+    mark_ace(t)
+    assert t.insts[0].ace is False
+    assert t.insts[1].ace is False
+    assert t.insts[2].ace is True
+
+
+def test_live_out_values_conservatively_ace():
+    t = _trace(dict(op="alu", dst=5, srcs=()))
+    mark_ace(t)
+    assert t.insts[0].ace is True  # may be consumed after the window
+
+
+def test_ace_fraction():
+    t = _trace(
+        dict(op="nop"),
+        dict(op="alu", dst=1, srcs=()),
+        dict(op="store", srcs=(1,), addr=0),
+        dict(op="alu", dst=1, srcs=()),  # live-out
+    )
+    mark_ace(t)
+    assert t.ace_fraction() == pytest.approx(0.75)
+
+
+def test_ace_fraction_requires_marking():
+    t = _trace(dict(op="nop"))
+    with pytest.raises(TraceError):
+        t.ace_fraction()
+
+
+def test_validate_catches_bad_seq_and_missing_fields():
+    t = Trace("bad", [Inst(seq=5, op="alu")])
+    with pytest.raises(TraceError, match="seq"):
+        t.validate()
+    t2 = Trace("bad2", [Inst(seq=0, op="load", dst=1)])
+    with pytest.raises(TraceError, match="address"):
+        t2.validate()
+    t3 = Trace("bad3", [Inst(seq=0, op="branch")])
+    with pytest.raises(TraceError, match="outcome"):
+        t3.validate()
+
+
+def test_merge_traces_renumbers():
+    a = _trace(dict(op="alu", dst=1, srcs=()))
+    b = _trace(dict(op="store", srcs=(1,), addr=0))
+    merged = merge_traces("ab", [a, b])
+    assert [i.seq for i in merged.insts] == [0, 1]
+    merged.validate()

@@ -1,0 +1,74 @@
+"""Probe qualification and snapshot comparison."""
+
+import pytest
+
+from repro.netlist import wordlib
+from repro.netlist.builder import ModuleBuilder
+from repro.rtlsim.probes import Probe, StateSnapshot
+from repro.rtlsim.simulator import Simulator
+
+
+def _pulsing_counter():
+    """Counter whose 'valid' output pulses when bit 0 is high."""
+    b = ModuleBuilder("m")
+    b.input("unused")
+    q = [f"q[{i}]" for i in range(3)]
+    for n in q:
+        b.module.add_net(n)
+    nxt = wordlib.increment(b, q)
+    for i in range(3):
+        b.dff(nxt[i], q=q[i], name=f"ff{i}")
+    b.output("valid")
+    b.gate("BUF", [q[0]], out="valid")
+    return b.done(), q
+
+
+def test_valid_qualified_sampling():
+    module, q = _pulsing_counter()
+    sim = Simulator(module, lanes=1)
+    probe = Probe(nets=q, valid="valid")
+    for _ in range(8):
+        probe.sample(sim)
+        sim.step()
+    # Samples recorded only when bit 0 was high: counts 1, 3, 5, 7.
+    assert [w for _, w in probe.history[0]] == [1, 3, 5, 7]
+
+
+def test_unqualified_probe_records_everything():
+    module, q = _pulsing_counter()
+    sim = Simulator(module, lanes=2)
+    probe = Probe(nets=q)
+    for _ in range(4):
+        probe.sample(sim)
+        sim.step()
+    assert [w for _, w in probe.history[0]] == [0, 1, 2, 3]
+    assert probe.history[1] == probe.history[0]
+    assert probe.lanes_mismatching(0) == set()
+
+
+def test_probe_detects_divergence():
+    module, q = _pulsing_counter()
+    sim = Simulator(module, lanes=2)
+    probe = Probe(nets=q)
+    probe.sample(sim)
+    sim.flip(q[1], 0b10)
+    probe.sample(sim)
+    assert probe.lanes_mismatching(0) == {1}
+
+
+def test_snapshot_equality_and_mem_overlays():
+    b = ModuleBuilder("m")
+    wa = b.input_bus("wa", 1)
+    wd = b.input_bus("wd", 2)
+    we = b.input("we")
+    ra = b.input_bus("ra", 1)
+    rd = b.mem(2, 2, [ra], wa, wd, we, name="mm")[0]
+    b.output("y")
+    b.gate("BUF", [rd[0]], out="y")
+    sim = Simulator(b.done(), lanes=2)
+    a0 = StateSnapshot.capture(sim, 0)
+    a1 = StateSnapshot.capture(sim, 1)
+    assert not a0.differs_from(a1)
+    sim.mems["mm"].flip_bit(1, 0, 1)
+    b1 = StateSnapshot.capture(sim, 1)
+    assert StateSnapshot.capture(sim, 0).differs_from(b1)

@@ -1,0 +1,132 @@
+"""CLI tests (direct main() invocation; no subprocess needed)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.netlist.exlif import write_exlif
+from tests.conftest import make_fig7
+
+
+@pytest.fixture()
+def fig7_exlif(tmp_path):
+    module, _ = make_fig7()
+    path = tmp_path / "fig7.exlif"
+    path.write_text(write_exlif(module))
+    return path
+
+
+@pytest.fixture()
+def ports_file(tmp_path):
+    path = tmp_path / "ports.txt"
+    path.write_text(
+        "# name pavf_r pavf_w [avf]\n"
+        "S1 0.10 0.0 0.3\n"
+        "S2 0.02 0.0 0.3\n"
+        "S3 0.0 0.05 0.3\n"
+        "S4 0.0 0.40 0.3\n"
+    )
+    return path
+
+
+def test_analyze(capsys, fig7_exlif, ports_file):
+    rc = main(["analyze", str(fig7_exlif), "--ports", str(ports_file), "--monolithic"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "WEIGHTED AVG" in out
+    assert "visited=" in out
+
+
+def test_analyze_with_exports(capsys, tmp_path, fig7_exlif, ports_file):
+    csv_path = tmp_path / "nodes.csv"
+    json_path = tmp_path / "summary.json"
+    rc = main([
+        "analyze", str(fig7_exlif), "--ports", str(ports_file), "--monolithic",
+        "--export-csv", str(csv_path), "--export-json", str(json_path),
+    ])
+    assert rc == 0
+    rows = list(csv.DictReader(csv_path.open()))
+    assert rows and "avf" in rows[0]
+    payload = json.loads(json_path.read_text())
+    assert payload["design"] == "fig7"
+
+
+def test_analyze_bad_ports_file(tmp_path, fig7_exlif):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("S1 only-two\n")
+    with pytest.raises(SystemExit, match="expected"):
+        main(["analyze", str(fig7_exlif), "--ports", str(bad)])
+
+
+def test_tinycore_flow(capsys):
+    rc = main(["tinycore", "fib", "--monolithic"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "average sequential AVF" in out
+    assert "structure rf" in out
+
+
+def test_tinycore_with_sfi(capsys):
+    rc = main(["tinycore", "fib", "--sfi", "30"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "SFI (30 injections)" in out
+
+
+def test_tinycore_unknown_program():
+    with pytest.raises(SystemExit, match="unknown program"):
+        main(["tinycore", "doom"])
+
+
+def test_bigcore_small(capsys):
+    rc = main([
+        "bigcore", "--scale", "0.1", "--workloads-per-class", "1",
+        "--workload-length", "500",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "WEIGHTED AVG" in out
+    assert "relaxation:" in out
+
+
+def test_sweep(capsys):
+    rc = main(["sweep", "--points", "3", "--scale", "0.1",
+               "--workload-length", "500"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "loop_pavf" in out
+    assert out.count("\n") >= 4
+
+
+def test_walk_engine_flag(capsys):
+    rc = main(["tinycore", "fib", "--engine", "walk", "--monolithic"])
+    assert rc == 0
+
+
+def test_export_exlif(tmp_path, capsys):
+    out = tmp_path / "tiny.exlif"
+    rc = main(["export", "tinycore", str(out), "--program", "fib"])
+    assert rc == 0
+    from repro.netlist.exlif import parse_exlif
+
+    mods = parse_exlif(out.read_text())
+    assert "tinycore" in mods
+
+
+def test_export_verilog_bigcore(tmp_path):
+    out = tmp_path / "big.v"
+    rc = main(["export", "bigcore", str(out), "--format", "verilog",
+               "--scale", "0.1"])
+    assert rc == 0
+    text = out.read_text()
+    assert text.startswith("// generated")
+    assert "endmodule" in text
+
+
+def test_export_parity_variant(tmp_path):
+    out = tmp_path / "tiny_p.exlif"
+    rc = main(["export", "tinycore", str(out), "--program", "fib", "--parity"])
+    assert rc == 0
+    assert "due_o" in out.read_text()

@@ -1,0 +1,80 @@
+"""Workload generator and suite tests."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.perfmodel.trace import mark_ace
+from repro.workloads.generator import WorkloadSpec, generate_trace
+from repro.workloads.suite import SUITE_CLASSES, default_suite, make_suite, suite_by_class
+
+
+def test_determinism():
+    spec = WorkloadSpec(name="x", length=1000, seed=9)
+    a = generate_trace(spec)
+    b = generate_trace(spec)
+    assert [(i.op, i.dst, i.srcs, i.addr) for i in a] == [
+        (i.op, i.dst, i.srcs, i.addr) for i in b
+    ]
+
+
+def test_different_seeds_differ():
+    a = generate_trace(WorkloadSpec(name="x", length=1000, seed=1))
+    b = generate_trace(WorkloadSpec(name="x", length=1000, seed=2))
+    assert [i.op for i in a] != [i.op for i in b]
+
+
+def test_mix_approximately_respected():
+    spec = WorkloadSpec(name="x", length=20_000, frac_load=0.4, frac_alu=0.4,
+                        frac_store=0.1, frac_branch=0.1, frac_nop=0, frac_prefetch=0,
+                        frac_mul=0, output_every=0)
+    t = generate_trace(spec)
+    loads = sum(1 for i in t if i.op == "load") / len(t)
+    assert loads == pytest.approx(0.4, abs=0.03)
+
+
+def test_empty_mix_rejected():
+    spec = WorkloadSpec(name="x", frac_alu=0, frac_mul=0, frac_load=0,
+                        frac_store=0, frac_branch=0, frac_nop=0, frac_prefetch=0)
+    with pytest.raises(TraceError):
+        generate_trace(spec)
+
+
+def test_dead_fraction_influences_ace():
+    clean = mark_ace(generate_trace(WorkloadSpec(name="c", length=8000, dead_fraction=0.0)))
+    dirty = mark_ace(generate_trace(WorkloadSpec(name="d", length=8000, dead_fraction=0.6)))
+    assert dirty.ace_fraction() < clean.ace_fraction()
+
+
+def test_working_set_bounds_addresses():
+    t = generate_trace(WorkloadSpec(name="x", length=5000, working_set=64))
+    addrs = {i.addr for i in t if i.addr is not None}
+    assert addrs and max(addrs) < 64
+
+
+def test_make_suite_counts_and_names():
+    specs = make_suite(per_class=3, length=500)
+    assert len(specs) == 3 * len(SUITE_CLASSES)
+    names = [s.name for s in specs]
+    assert len(set(names)) == len(names)
+    seeds = [s.seed for s in specs]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_default_suite_generates_valid_traces():
+    traces = default_suite(per_class=1, length=400)
+    assert len(traces) == len(SUITE_CLASSES)
+    for t in traces:
+        t.validate()
+        assert len(t) == 400
+
+
+def test_suite_by_class():
+    traces = suite_by_class("oltp", count=2, length=300)
+    assert len(traces) == 2
+    assert all(t.name.startswith("oltp") for t in traces)
+
+
+def test_classes_have_distinct_characters():
+    idle = mark_ace(suite_by_class("idle", count=1, length=5000)[0])
+    kernel = mark_ace(suite_by_class("kernel", count=1, length=5000)[0])
+    assert idle.ace_fraction() < kernel.ace_fraction()

@@ -11,11 +11,45 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.ace.portavf import suite_ports
 from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
 from repro.workloads import default_suite
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Machine-readable benchmark sink, flushed to BENCH_simulator.json.
+
+    Benchmarks drop ``{key: record}`` entries into the yielded dict; at
+    session end the entries are merged into any existing file, so partial
+    runs (e.g. the CI smoke subset) refresh only their own keys.
+    """
+    data: dict[str, object] = {}
+    yield data
+    if not data:
+        return
+    merged: dict[str, object] = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            merged = json.loads(BENCH_JSON_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(data)
+    merged["host"] = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    }
+    BENCH_JSON_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {BENCH_JSON_PATH}")
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,13 @@ Subcommands:
 ``export``
     Write a built-in design (tinycore with a program, or bigcore) as
     EXLIF or structural Verilog for external tools.
+``sfi``
+    Standalone statistical fault-injection campaign on a tinycore
+    program, with ``--backend``/``--workers``/``--lanes-per-pass``
+    control over the simulation substrate.
+``beam``
+    Simulated accelerated beam test (Poisson strikes into all storage)
+    with the same backend/worker controls.
 """
 
 from __future__ import annotations
@@ -103,12 +110,85 @@ def cmd_tinycore(args) -> int:
 
         seqs = extract_graph(netlist.module).seq_nets()
         plans = plan_campaign(seqs, golden.cycles - 2, args.sfi, seed=1)
-        campaign = run_sfi_campaign(words, dmem, plans, netlist=netlist)
+        campaign = run_sfi_campaign(
+            words, dmem, plans, netlist=netlist, backend=args.backend,
+            workers=args.workers, lanes_per_pass=args.lanes_per_pass,
+        )
         avf, (lo, hi) = overall_avf(campaign.outcomes)
         print(
             f"SFI ({args.sfi} injections): AVF={avf:.3f} [{lo:.3f},{hi:.3f}] "
             f"counts={campaign.counts()} in {campaign.elapsed_seconds:.1f}s"
         )
+    return 0
+
+
+def _resolve_program(name: str) -> tuple[list[int], list[int] | None]:
+    from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
+
+    if name not in PROGRAMS:
+        raise SystemExit(f"unknown program {name!r}; have {sorted(PROGRAMS)}")
+    return program(name), default_dmem(name)
+
+
+def cmd_sfi(args) -> int:
+    from repro.designs.tinycore.core import build_tinycore
+    from repro.designs.tinycore.harness import run_gate_level
+    from repro.netlist.graph import extract_graph
+    from repro.sfi import overall_avf, plan_campaign, run_sfi_campaign
+
+    words, dmem = _resolve_program(args.program)
+    netlist = build_tinycore(words, dmem)
+    golden = run_gate_level(words, dmem, netlist=netlist, backend=args.backend)
+    seqs = extract_graph(netlist.module).seq_nets()
+    plans = plan_campaign(
+        seqs, golden.cycles - 2, args.injections, seed=args.seed,
+        per_node=args.per_node,
+    )
+    campaign = run_sfi_campaign(
+        words, dmem, plans, netlist=netlist, backend=args.backend,
+        workers=args.workers, lanes_per_pass=args.lanes_per_pass,
+    )
+    avf, (lo, hi) = overall_avf(campaign.outcomes)
+    due = campaign.due_avf()
+    print(
+        f"{args.program}: {len(plans)} injections over {golden.cycles} cycles "
+        f"(backend={args.backend}, workers={args.workers}, passes={campaign.passes})"
+    )
+    print(f"  counts: {campaign.counts()}")
+    print(f"  SDC AVF={avf:.3f} [{lo:.3f},{hi:.3f}]  DUE AVF={due:.3f}")
+    print(
+        f"  {campaign.simulated_cycles} simulated cycles "
+        f"in {campaign.elapsed_seconds:.2f}s"
+    )
+    return 0
+
+
+def cmd_beam(args) -> int:
+    from repro.ser.beam import BeamConfig, run_beam_test
+
+    words, dmem = _resolve_program(args.program)
+    config = BeamConfig(
+        flux=args.flux, exposures=args.exposures, seed=args.seed,
+        lanes_per_pass=args.lanes_per_pass, include_arrays=args.include_arrays,
+        parity=args.parity,
+    )
+    result = run_beam_test(
+        words, dmem, config, backend=args.backend, workers=args.workers,
+    )
+    lo, hi = result.rate_interval()
+    print(
+        f"{args.program}: {result.exposures} exposures x "
+        f"{result.cycles_per_run} cycles under flux {result.flux:g} "
+        f"(backend={args.backend}, workers={args.workers})"
+    )
+    print(
+        f"  {result.strikes} strikes into {result.storage_bits} storage bits: "
+        f"{result.sdc_events} SDC, {result.due_events} DUE"
+    )
+    print(
+        f"  SDC rate {result.sdc_rate_per_cycle:.3e}/cycle "
+        f"[{lo:.3e},{hi:.3e}] in {result.elapsed_seconds:.2f}s"
+    )
     return 0
 
 
@@ -219,6 +299,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def sim_opts(p):
+        from repro.rtlsim.backends import BACKEND_NAMES, DEFAULT_BACKEND
+
+        p.add_argument("--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
+                       help="simulation backend (python: bigint lanes; "
+                            "numpy: word-sliced uint64 vectors)")
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="fan independent passes out across N processes "
+                            "(seed-deterministic at any worker count)")
+        p.add_argument("--lanes-per-pass", type=int, default=None, metavar="L",
+                       help="fault lanes per simulator pass "
+                            "(default: the backend's preferred width)")
+
     def common(p):
         p.add_argument("--loop-pavf", type=float, default=0.3,
                        help="injected loop-boundary pAVF (paper: 0.3)")
@@ -246,7 +339,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sfi", type=int, default=0, metavar="N",
                    help="also run an N-injection SFI campaign")
     common(p)
+    sim_opts(p)
     p.set_defaults(func=cmd_tinycore)
+
+    p = sub.add_parser("sfi", help="SFI campaign on a tinycore program")
+    p.add_argument("program", help="benchmark name (e.g. fib, matmul)")
+    p.add_argument("--injections", type=int, default=378, metavar="N",
+                   help="number of injected faults (default 378)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--per-node", action="store_true",
+                   help="inject N faults into every sequential node instead "
+                        "of sampling the node x cycle space")
+    sim_opts(p)
+    p.set_defaults(func=cmd_sfi)
+
+    p = sub.add_parser("beam", help="simulated accelerated beam test")
+    p.add_argument("program", help="benchmark name (e.g. fib, matmul)")
+    p.add_argument("--flux", type=float, default=2e-5,
+                   help="upset probability per storage bit per cycle")
+    p.add_argument("--exposures", type=int, default=252, metavar="N",
+                   help="device-runs under the beam")
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--include-arrays", action="store_true",
+                   help="also strike register file / data memory bits")
+    p.add_argument("--parity", action="store_true",
+                   help="use the parity-protected core (array strikes -> DUE)")
+    sim_opts(p)
+    p.set_defaults(func=cmd_beam)
 
     p = sub.add_parser("bigcore", help="full flow on the synthetic big core")
     p.add_argument("--scale", type=float, default=1.0)

@@ -1,0 +1,84 @@
+"""Pluggable simulation backends.
+
+Two lane-parallel value representations share one simulator core
+(:mod:`repro.rtlsim.backends.base`):
+
+``python``
+    Compiled-Python bigints — zero dependencies, fastest below a few
+    hundred lanes per pass, arbitrary lane counts.
+``numpy``
+    Word-sliced ``uint64`` arrays with vectorized gate evaluation —
+    near-constant per-gate overhead in the lane count, so very wide
+    passes (256-1024+ fault lanes) scale best here. Requires the
+    optional ``numpy`` extra (``pip install repro[numpy]``).
+
+Both produce bit-identical architectural outcomes; the cross-backend
+equivalence suite in ``tests/rtlsim/test_backends.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.netlist.netlist import Module
+from repro.rtlsim.backends.base import MAX_LANES, BaseSimulator, MemState
+from repro.rtlsim.backends.python import PythonSimulator
+
+DEFAULT_BACKEND = "python"
+
+#: All backend names this build knows about (available or not).
+BACKEND_NAMES = ("python", "numpy")
+
+
+def available_backends() -> list[str]:
+    """Backend names usable in this environment."""
+    names = ["python"]
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        names.append("numpy")
+    return names
+
+
+def get_backend(name: str | None) -> type[BaseSimulator]:
+    """Resolve a backend name to its simulator class."""
+    if name is None or name == "python":
+        return PythonSimulator
+    if name == "numpy":
+        try:
+            from repro.rtlsim.backends.numpy_backend import NumpySimulator
+        except ImportError as exc:
+            raise SimulationError(
+                "the 'numpy' simulation backend requires numpy "
+                "(pip install repro[numpy])"
+            ) from exc
+        return NumpySimulator
+    raise SimulationError(
+        f"unknown simulation backend {name!r}; available: {available_backends()}"
+    )
+
+
+def make_simulator(module: Module, lanes: int = 1,
+                   backend: str | None = DEFAULT_BACKEND) -> BaseSimulator:
+    """Instantiate the chosen backend for *module* with *lanes* lanes."""
+    return get_backend(backend)(module, lanes=lanes)
+
+
+def preferred_fault_lanes(backend: str | None = DEFAULT_BACKEND) -> int:
+    """Fault lanes per pass the backend is tuned for (golden lane extra)."""
+    return get_backend(backend).preferred_fault_lanes
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BaseSimulator",
+    "DEFAULT_BACKEND",
+    "MAX_LANES",
+    "MemState",
+    "PythonSimulator",
+    "available_backends",
+    "get_backend",
+    "make_simulator",
+    "preferred_fault_lanes",
+]

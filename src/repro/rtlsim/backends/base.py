@@ -1,0 +1,470 @@
+"""Backend-shared simulator core.
+
+Every simulation backend represents a net's lane-parallel value
+differently (a Python bigint, an array of ``uint64`` words, ...), but the
+rest of the machinery is identical: net indexing, the levelize-then-codegen
+compile pipeline, the simulation contract (poke / settle / step / peek),
+memory semantics, and fault injection. :class:`BaseSimulator` implements
+all of that once in terms of a tiny per-backend codec:
+
+``value_int(v, idx)`` / ``set_value_int(v, idx, value)``
+    Convert one net's stored value to/from the canonical lane-parallel
+    Python integer (bit ``k`` = lane ``k``).
+``lane_bit(v, idx, lane)``
+    One lane's boolean value of one net.
+``_gate_lines`` / ``_dff_lines`` / ``_codegen_namespace``
+    Code generation for the compiled combinational and sequential passes.
+
+:class:`MemState` is likewise shared: memory storage is a golden base
+array plus sparse per-lane overlays, and the access paths only ever
+iterate lanes that actually diverge from the lane-0 reference, so
+mostly-golden fault-injection passes stay near fault-free cost at any
+lane count.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.netlist.cells import mem_addr_bits
+from repro.netlist.netlist import Instance, Module
+from repro.rtlsim.levelize import GATE, MEM_READ, levelize
+
+_CHUNK = 4000  # generated statements per compiled function
+
+#: Hard sanity cap on lanes per pass (any backend). Far above the useful
+#: range; passes wider than this should be split into multiple passes.
+MAX_LANES = 1 << 16
+
+
+def compile_chunks(tag: str, lines: list[str], args: str, namespace: dict | None = None) -> list:
+    """Compile statement lines into chunked functions ``f(args)``.
+
+    Chunking keeps each generated function below CPython's practical
+    limits for very large netlists and keeps compile times linear. The
+    optional *namespace* provides globals for the generated code (the
+    NumPy backend binds its ufuncs and mask/scratch arrays there).
+    """
+    fns = []
+    for start in range(0, len(lines), _CHUNK):
+        body = "\n    ".join(lines[start:start + _CHUNK]) or "pass"
+        src = f"def _{tag}_{start}({args}):\n    {body}\n"
+        ns: dict = dict(namespace) if namespace else {}
+        exec(src, ns)  # noqa: S102 - trusted, self-generated code
+        fns.append(ns[f"_{tag}_{start}"])
+    return fns
+
+
+def iter_bits(bits: int):
+    """Yield the set-bit positions of *bits*, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+class MemState:
+    """State and lane-parallel access logic of one MEM instance.
+
+    Representation-independent: net values are reached through the owning
+    simulator's codec (*ops*), so one implementation serves every
+    backend. Invariant maintained by every mutation: an overlay entry
+    always differs from the shared base word at the same address, so two
+    lanes see identical memory contents iff their overlay dicts are equal.
+    """
+
+    def __init__(self, inst: Instance, index: dict[str, int], lanes: int, ops: "BaseSimulator"):
+        self.inst = inst
+        self.ops = ops
+        self.depth: int = inst.params["depth"]
+        self.width: int = inst.params["width"]
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        abits = mem_addr_bits(self.depth)
+        self.abits = abits
+        self._init = list(inst.params.get("init", []))
+        nread = inst.params.get("nread", 1)
+        self.raddr = [
+            [index[inst.conn[f"raddr{p}_{i}"]] for i in range(abits)] for p in range(nread)
+        ]
+        self.rdata = [
+            [index[inst.conn[f"rdata{p}_{i}"]] for i in range(self.width)] for p in range(nread)
+        ]
+        self.waddr = [index[inst.conn[f"waddr_{i}"]] for i in range(abits)]
+        self.wdata = [index[inst.conn[f"wdata_{i}"]] for i in range(self.width)]
+        self.wen = index[inst.conn["wen"]]
+        self.base: list[int] = []
+        self.overlays: dict[int, dict[int, int]] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.base = [0] * self.depth
+        for addr, word in enumerate(self._init[: self.depth]):
+            self.base[addr] = word & ((1 << self.width) - 1)
+        self.overlays = {}
+
+    # -- helpers -----------------------------------------------------------
+    def lane_word(self, lane: int, addr: int) -> int:
+        """Stored word at *addr* as seen by *lane*."""
+        overlay = self.overlays.get(lane)
+        if overlay is not None and addr in overlay:
+            return overlay[addr]
+        return self.base[addr]
+
+    # -- simulation --------------------------------------------------------
+    def read(self, v, port: int) -> None:
+        ops = self.ops
+        ref_addr, div = ops.uniform_scan(v, self.raddr[port])
+        addr0 = ref_addr % self.depth
+        word0 = self.base[addr0]
+        mask = self.mask
+        outs = [(mask if (word0 >> i) & 1 else 0) for i in range(self.width)]
+        # Lanes that read the reference address but hold an overlay there.
+        for lane, overlay in self.overlays.items():
+            if (div >> lane) & 1:
+                continue
+            w = overlay.get(addr0)
+            if w is None:
+                continue
+            bit = 1 << lane
+            for i in iter_bits(w ^ word0):
+                outs[i] ^= bit
+        # Lanes whose read address diverges from the reference.
+        for lane in iter_bits(div):
+            addr = ops.gather(v, self.raddr[port], lane) % self.depth
+            word = self.lane_word(lane, addr)
+            bit = 1 << lane
+            for i in iter_bits(word ^ word0):
+                outs[i] ^= bit
+        ops.scatter(v, self.rdata[port], outs)
+
+    def write(self, v) -> None:
+        ops = self.ops
+        wen = ops.value_int(v, self.wen)
+        if wen == 0:
+            return
+        mask = self.mask
+        ref_w = wen & 1
+        div = (mask ^ wen) if ref_w else wen
+        a_word, a_div = ops.uniform_scan(v, self.waddr)
+        d_word, d_div = ops.uniform_scan(v, self.wdata)
+        div |= a_div | d_div
+        if div == 0:
+            # Every lane writes the same word to the same address.
+            addr = a_word % self.depth
+            self.base[addr] = d_word
+            for overlay in self.overlays.values():
+                overlay.pop(addr, None)
+            return
+        if ref_w:
+            # The reference lane (and every non-diverged lane) writes
+            # d_word at addr0: commit to the base, preserve the previous
+            # word for diverged lanes that would otherwise see the change.
+            addr0 = a_word % self.depth
+            old = self.base[addr0]
+            if d_word != old:
+                self.base[addr0] = d_word
+                for lane in iter_bits(div):
+                    overlay = self.overlays.setdefault(lane, {})
+                    cur = overlay.get(addr0)
+                    if cur is None:
+                        overlay[addr0] = old
+                    elif cur == d_word:
+                        del overlay[addr0]  # view now equals the new base
+            for lane, overlay in self.overlays.items():
+                if not (div >> lane) & 1:
+                    overlay.pop(addr0, None)
+        # Diverged lanes with their write enable set perform their own write.
+        for lane in iter_bits(div & wen):
+            addr = ops.gather(v, self.waddr, lane) % self.depth
+            word = ops.gather(v, self.wdata, lane)
+            overlay = self.overlays.setdefault(lane, {})
+            if word == self.base[addr]:
+                overlay.pop(addr, None)
+            else:
+                overlay[addr] = word
+
+    def flip_bit(self, lane: int, addr: int, bit: int) -> None:
+        """Invert one stored bit in one lane (particle strike model)."""
+        addr %= self.depth
+        word = self.lane_word(lane, addr) ^ (1 << (bit % self.width))
+        overlay = self.overlays.setdefault(lane, {})
+        if word == self.base[addr]:
+            overlay.pop(addr, None)
+        else:
+            overlay[addr] = word
+
+    def diverged_lanes(self) -> set[int]:
+        """Lanes whose memory contents differ from the shared base."""
+        return {lane for lane, overlay in self.overlays.items() if overlay}
+
+
+class BaseSimulator:
+    """Compile and simulate a flattened module, ``lanes`` runs at a time.
+
+    Subclasses choose the lane-parallel value representation and supply
+    the codec plus the code generators; everything else lives here.
+    """
+
+    backend_name = "base"
+    #: Fault lanes per pass this backend is tuned for (golden lane extra).
+    preferred_fault_lanes = 63
+
+    def __init__(self, module: Module, lanes: int = 1):
+        if lanes < 1:
+            raise SimulationError("lanes must be >= 1")
+        if lanes > MAX_LANES:
+            raise SimulationError(
+                f"lanes={lanes} exceeds the per-pass cap ({MAX_LANES}); "
+                "split the campaign into more passes instead"
+            )
+        self.module = module
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        self.cycle = 0
+
+        self.index: dict[str, int] = {}
+        for net in sorted(module.nets):
+            self.index[net] = len(self.index)
+
+        self.mems: dict[str, MemState] = {}
+        self._dffs: list[Instance] = []
+        self._consts: list[tuple[int, int]] = []
+        for inst in module.instances.values():
+            if inst.kind == "MEM":
+                self.mems[inst.name] = MemState(inst, self.index, lanes, self)
+            elif inst.kind == "DFF":
+                self._dffs.append(inst)
+            elif inst.kind == "CONST0":
+                self._consts.append((self.index[inst.conn["y"]], 0))
+            elif inst.kind == "CONST1":
+                self._consts.append((self.index[inst.conn["y"]], 1))
+
+        self._alloc_state()
+        self._dff_q_index = {i.name: self.index[i.conn["q"]] for i in self._dffs}
+        self._comb_fns, self._seq_fns, self._commit_pairs = self._compile()
+        self._dirty = True
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # backend codec (override in subclasses)
+    # ------------------------------------------------------------------
+    def _alloc_state(self) -> None:
+        """Allocate ``self.values`` and ``self._next`` (next flop state)."""
+        raise NotImplementedError
+
+    def _clear_state(self) -> None:
+        """Zero every net value in place."""
+        raise NotImplementedError
+
+    def _set_uniform(self, idx: int, bit: int) -> None:
+        """Set net *idx* to the same boolean in every lane."""
+        raise NotImplementedError
+
+    def _commit(self) -> None:
+        """Copy every flop's next state into its output net."""
+        raise NotImplementedError
+
+    def value_int(self, v, idx: int) -> int:
+        """Net *idx* of value store *v* as a lane-parallel Python int."""
+        raise NotImplementedError
+
+    def set_value_int(self, v, idx: int, value: int) -> None:
+        """Store a lane-parallel Python int into net *idx* of *v*."""
+        raise NotImplementedError
+
+    def lane_bit(self, v, idx: int, lane: int) -> int:
+        """One lane's boolean value of net *idx*."""
+        raise NotImplementedError
+
+    def _gate_lines(self, inst: Instance) -> list[str]:
+        raise NotImplementedError
+
+    def _dff_lines(self, inst: Instance) -> list[str]:
+        raise NotImplementedError
+
+    def _codegen_namespace(self) -> dict:
+        return {}
+
+    # ------------------------------------------------------------------
+    # codec-derived helpers shared by MemState
+    # ------------------------------------------------------------------
+    def uniform_scan(self, v, idxs: list[int]) -> tuple[int, int]:
+        """(word assembled from lane 0's bits, mask of lanes differing).
+
+        The returned divergence mask is the union over all bit nets of
+        the XOR against lane 0's uniform pattern — exactly the lanes for
+        which a per-lane slow path is needed.
+        """
+        word = 0
+        div = 0
+        mask = self.mask
+        for i, idx in enumerate(idxs):
+            val = self.value_int(v, idx)
+            if val & 1:
+                word |= 1 << i
+                div |= mask ^ val
+            else:
+                div |= val
+        return word, div
+
+    def gather(self, v, idxs: list[int], lane: int) -> int:
+        """Assemble one lane's word from a list of bit nets (LSB first)."""
+        word = 0
+        for i, idx in enumerate(idxs):
+            if self.lane_bit(v, idx, lane):
+                word |= 1 << i
+        return word
+
+    def scatter(self, v, idxs: list[int], words: list[int]) -> None:
+        """Store per-output-bit lane patterns into the output nets."""
+        for i, idx in enumerate(idxs):
+            self.set_value_int(v, idx, words[i])
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _compile(self):
+        # Combinational pass: statements per gate / one call per mem read.
+        comb_lines: list[str] = []
+        mem_readers: list = []
+        for kind, inst, port in levelize(self.module):
+            if kind == MEM_READ:
+                reader = self.mems[inst.name]
+                comb_lines.append(f"mr[{len(mem_readers)}](v, {port})")
+                mem_readers.append(reader.read)
+            elif kind == GATE:
+                if inst.kind in ("CONST0", "CONST1"):
+                    continue  # set once at reset
+                comb_lines.extend(self._gate_lines(inst))
+
+        # Sequential pass: compute every next-state into nv, commit after.
+        seq_lines: list[str] = []
+        commit: list[int] = []
+        for inst in self._dffs:
+            seq_lines.extend(self._dff_lines(inst))
+            commit.append(self.index[inst.conn["q"]])
+
+        ns = self._codegen_namespace()
+        comb_fns = compile_chunks("comb", comb_lines, "v, mr", ns)
+        seq_fns = compile_chunks("seq", seq_lines, "v, nv", ns)
+        self._mem_readers = mem_readers
+        return comb_fns, seq_fns, commit
+
+    # ------------------------------------------------------------------
+    # simulation control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Power-on reset: flop init values, memory init images, inputs 0."""
+        self.cycle = 0
+        self._clear_state()
+        for idx, bit in self._consts:
+            self._set_uniform(idx, bit)
+        for inst in self._dffs:
+            if inst.params.get("init", 0):
+                self._set_uniform(self.index[inst.conn["q"]], 1)
+        for mem in self.mems.values():
+            mem.reset()
+        self._dirty = True
+
+    def settle(self) -> None:
+        """Evaluate combinational logic for the current cycle."""
+        if not self._dirty:
+            return
+        v = self.values
+        mr = self._mem_readers
+        for fn in self._comb_fns:
+            fn(v, mr)
+        self._dirty = False
+
+    def step(self, n: int = 1) -> None:
+        """Advance *n* clock cycles (settle + edge commit per cycle)."""
+        for _ in range(n):
+            self.settle()
+            v = self.values
+            nv = self._next
+            for fn in self._seq_fns:
+                fn(v, nv)
+            for mem in self.mems.values():
+                mem.write(v)
+            self._commit()
+            self.cycle += 1
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def poke(self, net: str, value: int) -> None:
+        """Set a primary-input net (lane-parallel value)."""
+        self.set_value_int(self.values, self.index[net], value & self.mask)
+        self._dirty = True
+
+    def poke_all_lanes(self, net: str, bit: int) -> None:
+        """Set a primary input to the same boolean in every lane."""
+        self.poke(net, self.mask if bit else 0)
+
+    def poke_word(self, nets: list[str], word: int) -> None:
+        """Drive a bus with the same word in every lane (LSB first)."""
+        for i, net in enumerate(nets):
+            self.poke_all_lanes(net, (word >> i) & 1)
+
+    def peek(self, net: str) -> int:
+        """Lane-parallel value of a net (settles combinational logic)."""
+        self.settle()
+        return self.value_int(self.values, self.index[net])
+
+    def peek_lane(self, net: str, lane: int) -> int:
+        self.settle()
+        return self.lane_bit(self.values, self.index[net], lane)
+
+    def peek_word(self, nets: list[str], lane: int) -> int:
+        self.settle()
+        v = self.values
+        idx = self.index
+        word = 0
+        for i, net in enumerate(nets):
+            if self.lane_bit(v, idx[net], lane):
+                word |= 1 << i
+        return word
+
+    def flip(self, net: str, lane_mask: int) -> None:
+        """Invert a state bit in the lanes selected by *lane_mask*.
+
+        Intended for flop outputs between clock edges (the SFI fault
+        model); flipping a combinational net would be overwritten by the
+        next settle.
+        """
+        idx = self.index[net]
+        v = self.values
+        self.set_value_int(v, idx, self.value_int(v, idx) ^ (lane_mask & self.mask))
+        self._dirty = True
+
+    def seq_state(self, lane: int) -> tuple[int, ...]:
+        """All flop values of one lane, in a stable order."""
+        v = self.values
+        return tuple(self.lane_bit(v, q, lane) for q in self._commit_pairs)
+
+    def lanes_differing_from(self, reference_lane: int = 0) -> set[int]:
+        """Lanes whose architectural state differs from *reference_lane*.
+
+        Compares every flop bit and every memory word; used by the SFI
+        classifier to detect still-latent (unknown) faults.
+        """
+        diffs: set[int] = set()
+        v = self.values
+        ref_bit = 1 << reference_lane
+        mask = self.mask
+        for q in self._commit_pairs:
+            val = self.value_int(v, q)
+            pattern = mask if val & ref_bit else 0
+            for lane in iter_bits((val ^ pattern) & mask):
+                diffs.add(lane)
+        for mem in self.mems.values():
+            ref_overlay = mem.overlays.get(reference_lane, {})
+            lanes_to_check = set(mem.overlays)
+            if ref_overlay:
+                lanes_to_check.update(range(self.lanes))
+            for lane in lanes_to_check:
+                if lane != reference_lane and mem.overlays.get(lane, {}) != ref_overlay:
+                    diffs.add(lane)
+        diffs.discard(reference_lane)
+        return diffs

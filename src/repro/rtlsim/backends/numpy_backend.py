@@ -1,0 +1,148 @@
+"""NumPy word-sliced backend.
+
+A net value is a NumPy array of ``ceil(lanes/64)`` ``uint64`` words: word
+``w`` holds lanes ``64w .. 64w+63``, LSB first. Each levelized gate
+compiles to one or a few vectorized bitwise ufunc calls operating on the
+whole word vector, so the per-gate Python overhead is constant in the
+lane count — one pass can carry 256, 1024 or more fault lanes and the
+cost per gate barely moves. The crossover against the bigint backend
+therefore sits at wide passes: below a few hundred lanes the fixed ufunc
+dispatch cost dominates and the Python backend is faster (see
+docs/PERFORMANCE.md for measured numbers).
+
+Canonical-form invariant: bits at positions >= ``lanes`` in the top word
+are always zero. Inversions go through the partial mask vector ``M``
+(not ``~``), which preserves the invariant, so converting a value to a
+lane-parallel Python int is a straight little-endian byte read.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.netlist import Instance
+from repro.rtlsim.backends.base import BaseSimulator
+
+_WORD = 64
+_BYTEORDER = sys.byteorder
+
+
+class NumpySimulator(BaseSimulator):
+    """Vectorized uint64 word-sliced lane-parallel simulator."""
+
+    backend_name = "numpy"
+    # Wide passes are the point: 4 words of fault lanes plus the golden
+    # lane per pass keeps the constant ufunc overhead well amortized.
+    preferred_fault_lanes = 255
+
+    # ------------------------------------------------------------------
+    # state + codec
+    # ------------------------------------------------------------------
+    def _alloc_state(self) -> None:
+        n = len(self.index)
+        self.words = (self.lanes + _WORD - 1) // _WORD
+        self._nbytes = self.words * 8
+        self._storage = np.zeros((n, self.words), dtype=np.uint64)
+        self.values = list(self._storage)  # per-net row views
+
+        mask_words = [0xFFFF_FFFF_FFFF_FFFF] * self.words
+        rem = self.lanes - _WORD * (self.words - 1)
+        if rem < _WORD:
+            mask_words[-1] = (1 << rem) - 1
+        self._maskarr = np.array(mask_words, dtype=np.uint64)
+        self._t0 = np.zeros(self.words, dtype=np.uint64)
+        self._t1 = np.zeros(self.words, dtype=np.uint64)
+
+        qs = [self.index[inst.conn["q"]] for inst in self._dffs]
+        self._q_rows = np.array(qs, dtype=np.intp)
+        self._next_storage = np.zeros((len(qs), self.words), dtype=np.uint64)
+        self._next: list = [None] * n
+        for j, q in enumerate(qs):
+            self._next[q] = self._next_storage[j]
+
+    def _clear_state(self) -> None:
+        self._storage[:] = 0
+        self._next_storage[:] = 0
+
+    def _set_uniform(self, idx: int, bit: int) -> None:
+        row = self.values[idx]
+        if bit:
+            np.copyto(row, self._maskarr)
+        else:
+            row[:] = 0
+
+    def _commit(self) -> None:
+        # One fancy-indexed copy commits every flop at once.
+        self._storage[self._q_rows] = self._next_storage
+
+    def value_int(self, v, idx: int) -> int:
+        return int.from_bytes(v[idx].tobytes(), _BYTEORDER)
+
+    def set_value_int(self, v, idx: int, value: int) -> None:
+        v[idx][:] = np.frombuffer(value.to_bytes(self._nbytes, _BYTEORDER), dtype=np.uint64)
+
+    def lane_bit(self, v, idx: int, lane: int) -> int:
+        return (int(v[idx][lane >> 6]) >> (lane & 63)) & 1
+
+    # ------------------------------------------------------------------
+    # code generation
+    # ------------------------------------------------------------------
+    _UFUNC = {"AND": "AND", "NAND": "AND", "OR": "OR", "NOR": "OR",
+              "XOR": "XOR", "XNOR": "XOR"}
+
+    def _codegen_namespace(self) -> dict:
+        return {
+            "AND": np.bitwise_and,
+            "OR": np.bitwise_or,
+            "XOR": np.bitwise_xor,
+            "CPY": np.copyto,
+            "M": self._maskarr,
+            "T0": self._t0,
+            "T1": self._t1,
+        }
+
+    def _gate_lines(self, inst: Instance) -> list[str]:
+        conn = inst.conn
+        idx = self.index
+        kind = inst.kind
+        y = idx[conn["y"]]
+        if kind == "BUF":
+            return [f"CPY(v[{y}], v[{idx[conn['a']]}])"]
+        if kind == "NOT":
+            return [f"XOR(v[{idx[conn['a']]}], M, v[{y}])"]
+        if kind in self._UFUNC:
+            fn = self._UFUNC[kind]
+            ins = [idx[conn[p]] for p in inst.input_pins()]
+            if len(ins) == 1:
+                lines = [f"CPY(v[{y}], v[{ins[0]}])"]
+            else:
+                lines = [f"{fn}(v[{ins[0]}], v[{ins[1]}], v[{y}])"]
+                lines += [f"{fn}(v[{y}], v[{i}], v[{y}])" for i in ins[2:]]
+            if kind in ("NAND", "NOR", "XNOR"):
+                lines.append(f"XOR(v[{y}], M, v[{y}])")
+            return lines
+        if kind == "MUX2":
+            a, b, s = idx[conn["a"]], idx[conn["b"]], idx[conn["s"]]
+            return [
+                f"XOR(v[{s}], M, T0)",
+                f"AND(v[{a}], T0, T0)",
+                f"AND(v[{b}], v[{s}], T1)",
+                f"OR(T0, T1, v[{y}])",
+            ]
+        raise SimulationError(f"no expression for cell {kind!r}")
+
+    def _dff_lines(self, inst: Instance) -> list[str]:
+        q = self.index[inst.conn["q"]]
+        d = self.index[inst.conn["d"]]
+        if "en" in inst.conn:
+            en = self.index[inst.conn["en"]]
+            return [
+                f"XOR(v[{en}], M, T0)",
+                f"AND(v[{q}], T0, T0)",
+                f"AND(v[{d}], v[{en}], T1)",
+                f"OR(T0, T1, nv[{q}])",
+            ]
+        return [f"CPY(nv[{q}], v[{d}])"]

@@ -8,11 +8,14 @@ physical equivalent was "a 200 MeV proton beam with variable flux" at the
 Indiana University Cyclotron; the statistical structure of the
 measurement (Poisson event counts, hence sqrt(N) error bars) is the same.
 
-Each simulator pass exposes up to 63 independent "devices" (fault lanes)
-to the beam while lane 0 stays golden; a device shows SDC when its output
-stream (or halt behaviour) diverges. The measured rate comes with a
-Poisson confidence interval — Figure 10's "statistical error of the
-measured value".
+Each simulator pass exposes a batch of independent "devices" (fault
+lanes) to the beam while lane 0 stays golden; a device shows SDC when its
+output stream (or halt behaviour) diverges. All strikes are planned up
+front from the seed — one (cycle, target, bit) plan per device — so the
+measurement is deterministic no matter how passes are grouped or how many
+worker processes execute them. The measured rate comes with a Poisson
+confidence interval — Figure 10's "statistical error of the measured
+value".
 """
 
 from __future__ import annotations
@@ -26,7 +29,9 @@ from repro.designs.tinycore.core import TinycoreNetlist, build_tinycore
 from repro.designs.tinycore.harness import run_gate_level
 from repro.errors import CampaignError
 from repro.netlist.graph import extract_graph
-from repro.rtlsim.simulator import Simulator
+from repro.rtlsim.backends import DEFAULT_BACKEND, BaseSimulator, make_simulator
+from repro.sfi.campaign import resolve_lanes_per_pass
+from repro.sfi.parallel import parallel_map
 
 
 @dataclass
@@ -36,7 +41,7 @@ class BeamConfig:
     flux: float = 2e-5          # upset probability per storage bit per cycle
     exposures: int = 252        # device-runs under the beam (4 passes of 63)
     seed: int = 2024
-    lanes_per_pass: int = 63
+    lanes_per_pass: int | None = 63  # None: the backend's preferred width
     max_cycles: int = 100_000
     # Arrays are parity/ECC protected in the modelled product (their
     # strikes become DUE, not SDC) — matching the paper's setup, which
@@ -86,17 +91,144 @@ class BeamResult:
         return (max(0.0, (n - margin)) / total_cycles, (n + margin) / total_cycles)
 
 
+@dataclass(frozen=True)
+class BeamStrike:
+    """One planned particle strike in one device's exposure."""
+
+    cycle: int
+    kind: str        # "flop" or "mem"
+    target: str      # net name (flop) or MEM instance name
+    addr: int = 0    # mem only
+    bit: int = 0     # mem only
+
+
+def plan_beam_exposures(
+    config: BeamConfig,
+    targets: list[tuple[str, str]],
+    weights: list[int],
+    mem_sizes: dict[str, tuple[int, int]],
+    storage_bits: int,
+    cycles_per_run: int,
+) -> list[list[BeamStrike]]:
+    """Sample every device's strikes up front from the seed.
+
+    Each device draws a Poisson number of strikes for the whole exposure
+    and every strike is fully resolved (cycle, target, and for arrays the
+    struck word and bit) at plan time, so execution order — batching,
+    workers — cannot perturb the measurement.
+    """
+    rng = random.Random(config.seed)
+    expected = config.flux * storage_bits * cycles_per_run
+    plans: list[list[BeamStrike]] = []
+    for _ in range(config.exposures):
+        strikes = []
+        for _ in range(_poisson(rng, expected)):
+            cycle = rng.randrange(max(1, cycles_per_run - 1))
+            kind, target = rng.choices(targets, weights)[0]
+            if kind == "mem":
+                depth, width = mem_sizes[target]
+                strikes.append(BeamStrike(cycle, kind, target,
+                                          rng.randrange(depth), rng.randrange(width)))
+            else:
+                strikes.append(BeamStrike(cycle, kind, target))
+        plans.append(strikes)
+    return plans
+
+
+@dataclass
+class _BeamPayload:
+    """Everything a worker process needs to run beam passes on its own."""
+
+    program: list[int]
+    dmem_init: list[int] | None
+    netlist: TinycoreNetlist
+    backend: str
+    max_cycles: int
+    count_architectural_state: bool
+
+
+class _BeamContext:
+    def __init__(self, payload: _BeamPayload):
+        self.payload = payload
+        self._sims: dict[int, BaseSimulator] = {}
+
+    def sim_for(self, lanes: int) -> BaseSimulator:
+        sim = self._sims.get(lanes)
+        if sim is None:
+            sim = make_simulator(
+                self.payload.netlist.module, lanes=lanes, backend=self.payload.backend
+            )
+            self._sims[lanes] = sim
+        return sim
+
+
+_BEAM_CTX: _BeamContext | None = None
+
+
+def _init_beam_worker(payload: _BeamPayload) -> None:
+    global _BEAM_CTX
+    _BEAM_CTX = _BeamContext(payload)
+
+
+def _run_beam_pass(group: list[list[BeamStrike]]) -> tuple[int, int, int]:
+    """Expose one batch of devices; return (sdc_events, due_events, devices)."""
+    ctx = _BEAM_CTX
+    assert ctx is not None, "worker used before initialization"
+    payload = ctx.payload
+    lanes = len(group) + 1
+    sim = ctx.sim_for(lanes)
+    strikes_by_cycle: dict[int, list[tuple[BeamStrike, int]]] = {}
+    for lane_offset, strikes in enumerate(group):
+        for s in strikes:
+            strikes_by_cycle.setdefault(s.cycle, []).append((s, lane_offset + 1))
+
+    def strike(simulator: BaseSimulator, cycle: int) -> None:
+        for s, lane in strikes_by_cycle.get(cycle, ()):
+            if s.kind == "flop":
+                simulator.flip(s.target, 1 << lane)
+            else:
+                simulator.mems[s.target].flip_bit(lane, s.addr, s.bit)
+
+    run = run_gate_level(
+        payload.program, payload.dmem_init, netlist=payload.netlist, sim=sim,
+        max_cycles=payload.max_cycles, on_cycle=strike,
+    )
+    golden_arch = run.architectural_state(0)
+    due_net = payload.netlist.due
+    due_bits = run.sim.peek(due_net) if due_net is not None else 0
+    sdc = due = 0
+    for lane in range(1, lanes):
+        if due_net is not None and (due_bits >> lane) & 1 and not (due_bits & 1):
+            due += 1  # detected: the machine signals
+            continue
+        halted_matches = (lane in run.halted_lanes) == (0 in run.halted_lanes)
+        faulted = run.outputs[lane] != run.outputs[0] or not halted_matches
+        if not faulted and payload.count_architectural_state:
+            faulted = run.architectural_state(lane) != golden_arch
+        if faulted:
+            sdc += 1
+    return sdc, due, lanes - 1
+
+
 def run_beam_test(
     program: list[int],
     dmem_init: list[int] | None,
     config: BeamConfig | None = None,
     *,
     netlist: TinycoreNetlist | None = None,
+    backend: str = DEFAULT_BACKEND,
+    workers: int = 1,
 ) -> BeamResult:
-    """Expose the core to the simulated beam and measure the SDC rate."""
+    """Expose the core to the simulated beam and measure the SDC rate.
+
+    *backend* selects the simulation backend and *workers* > 1 fans the
+    independent passes out across processes; for a fixed seed the counts
+    are identical at any worker count.
+    """
     config = config or BeamConfig()
     if config.flux <= 0:
         raise CampaignError("flux must be positive")
+    lanes_per_pass = resolve_lanes_per_pass(config.lanes_per_pass, backend)
     started = time.perf_counter()
     if netlist is None:
         netlist = build_tinycore(program, dmem_init, parity=config.parity)
@@ -104,7 +236,7 @@ def run_beam_test(
     seq_nets = graph.seq_nets()
 
     # Enumerate strikable storage bits: (kind, target) tuples.
-    targets: list[tuple[str, object]] = [("flop", net) for net in seq_nets]
+    targets: list[tuple[str, str]] = [("flop", net) for net in seq_nets]
     bits = len(seq_nets)
     if config.include_arrays:
         for inst, mem in graph.mems.items():
@@ -121,57 +253,32 @@ def run_beam_test(
         for kind, t in targets[len(seq_nets):]
     ]
 
-    rng = random.Random(config.seed)
     result = BeamResult(flux=config.flux, storage_bits=bits)
-    golden = run_gate_level(program, dmem_init, netlist=netlist)
+    golden = run_gate_level(program, dmem_init, netlist=netlist, backend=backend)
     result.cycles_per_run = golden.cycles
 
-    remaining = config.exposures
-    sim: Simulator | None = None
-    while remaining > 0:
-        lanes = min(config.lanes_per_pass, remaining) + 1
-        if sim is None or sim.lanes != lanes:
-            sim = Simulator(netlist.module, lanes=lanes)
-        strikes_by_cycle: dict[int, list[tuple[str, object, int]]] = {}
-        for lane in range(1, lanes):
-            # Poisson number of strikes over the whole exposure.
-            expected = config.flux * bits * golden.cycles
-            n_strikes = _poisson(rng, expected)
-            for _ in range(n_strikes):
-                cycle = rng.randrange(max(1, golden.cycles - 1))
-                kind, target = rng.choices(targets, weights)[0]
-                strikes_by_cycle.setdefault(cycle, []).append((kind, target, lane))
-                result.strikes += 1
-
-        def strike(simulator: Simulator, cycle: int) -> None:
-            for kind, target, lane in strikes_by_cycle.get(cycle, ()):
-                if kind == "flop":
-                    simulator.flip(target, 1 << lane)
-                else:
-                    depth, width = mem_sizes[target]
-                    simulator.mems[target].flip_bit(
-                        lane, rng.randrange(depth), rng.randrange(width)
-                    )
-
-        run = run_gate_level(
-            program, dmem_init, netlist=netlist, sim=sim,
-            max_cycles=config.max_cycles, on_cycle=strike,
-        )
-        golden_arch = run.architectural_state(0)
-        due_net = netlist.due
-        due_bits = run.sim.peek(due_net) if due_net is not None else 0
-        for lane in range(1, lanes):
-            if due_net is not None and (due_bits >> lane) & 1 and not (due_bits & 1):
-                result.due_events += 1  # detected: the machine signals
-                continue
-            halted_matches = (lane in run.halted_lanes) == (0 in run.halted_lanes)
-            faulted = run.outputs[lane] != run.outputs[0] or not halted_matches
-            if not faulted and config.count_architectural_state:
-                faulted = run.architectural_state(lane) != golden_arch
-            if faulted:
-                result.sdc_events += 1
-        result.exposures += lanes - 1
-        remaining -= lanes - 1
+    exposures = plan_beam_exposures(
+        config, targets, weights, mem_sizes, bits, golden.cycles
+    )
+    result.strikes = sum(len(p) for p in exposures)
+    groups = [
+        exposures[i:i + lanes_per_pass]
+        for i in range(0, len(exposures), lanes_per_pass)
+    ]
+    payload = _BeamPayload(
+        program=list(program),
+        dmem_init=list(dmem_init) if dmem_init is not None else None,
+        netlist=netlist,
+        backend=backend,
+        max_cycles=config.max_cycles,
+        count_architectural_state=config.count_architectural_state,
+    )
+    for sdc, due, devices in parallel_map(
+        _run_beam_pass, _init_beam_worker, payload, groups, workers
+    ):
+        result.sdc_events += sdc
+        result.due_events += due
+        result.exposures += devices
 
     result.elapsed_seconds = time.perf_counter() - started
     return result

@@ -78,10 +78,47 @@ def plan_campaign(
     return plans
 
 
-def batches(plans: Iterable[FaultPlan], lanes_per_pass: int = 63) -> list[list[FaultPlan]]:
-    """Split plans into simulator passes (lane 0 stays golden)."""
+def resolve_lanes_per_pass(lanes_per_pass: int | None, backend: str | None = None) -> int:
+    """Validate the campaign batch width against the chosen backend.
+
+    ``None`` resolves to the backend's preferred fault-lane count (the
+    seed's historical 63 for the ``python`` backend, 255 for ``numpy``).
+    Raises :class:`CampaignError` on misuse: a non-positive width, an
+    unknown backend, or a width exceeding the simulator's per-pass cap
+    (one golden lane rides along in every pass).
+    """
+    from repro.rtlsim.backends import MAX_LANES, get_backend
+
+    try:
+        cls = get_backend(backend)
+    except Exception as exc:
+        raise CampaignError(f"cannot batch for backend {backend!r}: {exc}") from exc
+    if lanes_per_pass is None:
+        return cls.preferred_fault_lanes
     if lanes_per_pass < 1:
         raise CampaignError("need at least one fault lane per pass")
+    if lanes_per_pass + 1 > MAX_LANES:
+        raise CampaignError(
+            f"lanes_per_pass={lanes_per_pass} exceeds the {cls.backend_name} "
+            f"backend's per-pass cap of {MAX_LANES - 1} fault lanes "
+            "(the golden lane occupies one slot); split into more passes"
+        )
+    return lanes_per_pass
+
+
+def batches(
+    plans: Iterable[FaultPlan],
+    lanes_per_pass: int | None = 63,
+    *,
+    backend: str | None = None,
+) -> list[list[FaultPlan]]:
+    """Split plans into simulator passes (lane 0 stays golden).
+
+    The batch width is validated against *backend* (default: the
+    ``python`` backend's limits); pass ``lanes_per_pass=None`` to use the
+    backend's preferred width.
+    """
+    lanes_per_pass = resolve_lanes_per_pass(lanes_per_pass, backend)
     plans = list(plans)
     return [
         plans[i:i + lanes_per_pass] for i in range(0, len(plans), lanes_per_pass)

@@ -1,8 +1,14 @@
 """SFI campaign execution on tinycore.
 
-One simulator pass carries the golden lane plus up to 63 fault lanes;
-each fault lane gets its planned bit flip at its planned cycle. After
-lane 0 halts, every fault lane is classified against the golden lane.
+One simulator pass carries the golden lane plus a configurable number of
+fault lanes (the backend's preferred width by default); each fault lane
+gets its planned bit flip at its planned cycle. After lane 0 halts,
+every fault lane is classified against the golden lane.
+
+Passes are independent, so campaigns fan out across worker processes:
+each worker compiles its own simulator once and streams classified
+:class:`InjectionOutcome` batches back. Results are reassembled in plan
+order, so a fixed seed gives identical outcomes at any worker count.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from typing import Sequence
 from repro.designs.tinycore.core import TinycoreNetlist, build_tinycore
 from repro.designs.tinycore.harness import GateLevelRun, run_gate_level
 from repro.errors import CampaignError
-from repro.rtlsim.simulator import Simulator
+from repro.rtlsim.backends import DEFAULT_BACKEND, BaseSimulator, make_simulator
 from repro.sfi.campaign import (
     DUE,
     MASKED,
@@ -24,6 +30,7 @@ from repro.sfi.campaign import (
     InjectionOutcome,
     batches,
 )
+from repro.sfi.parallel import parallel_map
 
 
 @dataclass
@@ -34,6 +41,8 @@ class CampaignResult:
     passes: int = 0
     simulated_cycles: int = 0
     elapsed_seconds: float = 0.0
+    backend: str = DEFAULT_BACKEND
+    workers: int = 1
 
     def counts(self) -> dict[str, int]:
         out = {MASKED: 0, SDC: 0, UNKNOWN: 0, DUE: 0}
@@ -54,16 +63,82 @@ class CampaignResult:
         return sum(1 for o in self.outcomes if o.counts_as_error) / len(self.outcomes)
 
 
+@dataclass
+class _SfiPayload:
+    """Everything a worker process needs to run passes on its own."""
+
+    program: list[int]
+    dmem_init: list[int] | None
+    netlist: TinycoreNetlist
+    backend: str
+    max_cycles: int
+
+
+class _SfiContext:
+    """Per-process simulator cache (one compile per lane count)."""
+
+    def __init__(self, payload: _SfiPayload):
+        self.payload = payload
+        self._sims: dict[int, BaseSimulator] = {}
+
+    def sim_for(self, lanes: int) -> BaseSimulator:
+        sim = self._sims.get(lanes)
+        if sim is None:
+            sim = make_simulator(
+                self.payload.netlist.module, lanes=lanes, backend=self.payload.backend
+            )
+            self._sims[lanes] = sim
+        return sim
+
+
+_SFI_CTX: _SfiContext | None = None
+
+
+def _init_sfi_worker(payload: _SfiPayload) -> None:
+    global _SFI_CTX
+    _SFI_CTX = _SfiContext(payload)
+
+
+def _run_sfi_batch(batch: Sequence[FaultPlan]) -> tuple[list[InjectionOutcome], int]:
+    """Execute one simulator pass and classify its injections."""
+    ctx = _SFI_CTX
+    assert ctx is not None, "worker used before initialization"
+    payload = ctx.payload
+    sim = ctx.sim_for(len(batch) + 1)
+    by_cycle: dict[int, list[tuple[str, int]]] = {}
+    for lane_offset, plan in enumerate(batch):
+        by_cycle.setdefault(plan.cycle, []).append((plan.net, 1 << (lane_offset + 1)))
+
+    def inject(simulator: BaseSimulator, cycle: int) -> None:
+        for net, lane_mask in by_cycle.get(cycle, ()):
+            simulator.flip(net, lane_mask)
+
+    run = run_gate_level(
+        payload.program, payload.dmem_init, max_cycles=payload.max_cycles,
+        netlist=payload.netlist, sim=sim, on_cycle=inject,
+    )
+    return _classify_batch(run, batch), run.cycles
+
+
 def run_sfi_campaign(
     program: list[int],
     dmem_init: list[int] | None,
     plans: Sequence[FaultPlan],
     *,
     max_cycles: int = 100_000,
-    lanes_per_pass: int = 63,
+    lanes_per_pass: int | None = 63,
     netlist: TinycoreNetlist | None = None,
+    backend: str = DEFAULT_BACKEND,
+    workers: int = 1,
 ) -> CampaignResult:
-    """Execute every planned injection and classify the outcomes."""
+    """Execute every planned injection and classify the outcomes.
+
+    *lanes_per_pass* is validated against *backend* (``None`` selects the
+    backend's preferred width). *workers* > 1 fans passes out across
+    processes; outcomes are identical to the serial run for a fixed plan
+    list because every pass is independent and results are reassembled in
+    plan order.
+    """
     started = time.perf_counter()
     if netlist is None:
         netlist = build_tinycore(program, dmem_init)
@@ -72,27 +147,21 @@ def run_sfi_campaign(
         if plan.net not in known:
             raise CampaignError(f"fault plan targets unknown net {plan.net!r}")
 
-    result = CampaignResult()
-    sim: Simulator | None = None
-    for batch in batches(plans, lanes_per_pass):
-        lanes = len(batch) + 1
-        if sim is None or sim.lanes != lanes:
-            sim = Simulator(netlist.module, lanes=lanes)
-        by_cycle: dict[int, list[tuple[str, int]]] = {}
-        for lane_offset, plan in enumerate(batch):
-            by_cycle.setdefault(plan.cycle, []).append((plan.net, 1 << (lane_offset + 1)))
-
-        def inject(simulator: Simulator, cycle: int) -> None:
-            for net, lane_mask in by_cycle.get(cycle, ()):
-                simulator.flip(net, lane_mask)
-
-        run = run_gate_level(
-            program, dmem_init, max_cycles=max_cycles,
-            netlist=netlist, sim=sim, on_cycle=inject,
-        )
+    plan_batches = batches(plans, lanes_per_pass, backend=backend)
+    payload = _SfiPayload(
+        program=list(program),
+        dmem_init=list(dmem_init) if dmem_init is not None else None,
+        netlist=netlist,
+        backend=backend,
+        max_cycles=max_cycles,
+    )
+    result = CampaignResult(backend=backend, workers=max(1, workers))
+    for outcomes, cycles in parallel_map(
+        _run_sfi_batch, _init_sfi_worker, payload, plan_batches, workers
+    ):
         result.passes += 1
-        result.simulated_cycles += run.cycles
-        result.outcomes.extend(_classify_batch(run, batch))
+        result.simulated_cycles += cycles
+        result.outcomes.extend(outcomes)
     result.elapsed_seconds = time.perf_counter() - started
     return result
 

@@ -1,0 +1,57 @@
+"""Process-pool fan-out for independent simulator passes.
+
+SFI and beam campaigns decompose into passes that share nothing but the
+netlist, so they parallelize trivially: each worker process compiles its
+own simulator once (via an initializer) and then streams pass results
+back. Results are reassembled in submission order, so outcomes are
+deterministic for a fixed seed regardless of worker count — the pool
+only changes *when* a pass runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import CampaignError
+
+_ITEM = TypeVar("_ITEM")
+_RESULT = TypeVar("_RESULT")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request (None/0/negative -> serial)."""
+    if workers is None or workers < 1:
+        return 1
+    return workers
+
+
+def parallel_map(
+    worker: Callable[[_ITEM], _RESULT],
+    initializer: Callable[[object], None],
+    payload: object,
+    items: Iterable[_ITEM],
+    workers: int | None = 1,
+) -> list[_RESULT]:
+    """Map *worker* over *items*, optionally across processes.
+
+    *initializer(payload)* runs once per worker process (and once in this
+    process for the serial path) to build per-process state — typically a
+    compiled simulator. *worker* and *initializer* must be module-level
+    functions (picklable). The result list preserves item order.
+    """
+    work: Sequence[_ITEM] = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(work) <= 1:
+        initializer(payload)
+        return [worker(item) for item in work]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(work)),
+            initializer=initializer,
+            initargs=(payload,),
+        ) as pool:
+            return list(pool.map(worker, work))
+    except BrokenProcessPool as exc:  # pragma: no cover - environment failure
+        raise CampaignError("a campaign worker process died unexpectedly") from exc

@@ -1,0 +1,210 @@
+"""Cross-backend equivalence: python and numpy must agree bit-for-bit.
+
+Both backends implement the same simulation contract over different
+lane-parallel value representations (bigints vs uint64 word vectors).
+These tests drive identical netlists with identical pokes and flips at
+awkward lane widths — 1, 63, 64 (one word exactly), 65 (first word
+spill) and 256 — and require identical ``peek``/``seq_state``/
+``lanes_differing_from`` results everywhere.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import CampaignError, SimulationError
+from repro.netlist import wordlib
+from repro.netlist.builder import ModuleBuilder
+from repro.rtlsim.backends import (
+    MAX_LANES,
+    available_backends,
+    get_backend,
+    make_simulator,
+    preferred_fault_lanes,
+)
+
+pytest.importorskip("numpy")
+
+LANE_WIDTHS = (1, 63, 64, 65, 256)
+
+
+def _counter(width=4):
+    b = ModuleBuilder("ctr")
+    b.input("unused")
+    q_nets = [f"q[{i}]" for i in range(width)]
+    for n in q_nets:
+        b.module.add_net(n)
+    nxt = wordlib.increment(b, q_nets)
+    for i in range(width):
+        b.dff(nxt[i], q=q_nets[i], name=f"ff{i}")
+    return b.done(), q_nets
+
+
+def _mem_module():
+    b = ModuleBuilder("m")
+    ra = b.input_bus("ra", 3)
+    wa = b.input_bus("wa", 3)
+    wd = b.input_bus("wd", 8)
+    b.input("we")
+    rd = b.mem(8, 8, [ra], wa, wd, "we", name="arr", init=[10, 20, 30])[0]
+    for i in range(8):
+        b.output(f"rd[{i}]")
+        b.gate("BUF", [rd[i]], out=f"rd[{i}]")
+    return b.done(), ra, wa, wd
+
+
+def _mixed_logic_module():
+    """Exercise every cell kind the code generators special-case."""
+    b = ModuleBuilder("mix")
+    a, c, s = b.input("a"), b.input("c"), b.input("s")
+    n = b.gate("NOT", [a])
+    x1 = b.gate("AND", [a, c])
+    x2 = b.gate("NAND", [a, c, n])
+    x3 = b.gate("OR", [x1, x2])
+    x4 = b.gate("NOR", [x3, c])
+    x5 = b.gate("XOR", [x4, a])
+    x6 = b.gate("XNOR", [x5, c])
+    x7 = b.gate("MUX2", [x6, x2, s])
+    q = b.dff(x7, name="qff")
+    b.dff(q, en=s, name="qen")
+    return b.done(), [x1, x2, x3, x4, x5, x6, x7, q]
+
+
+def _assert_same_state(sims, nets, lanes):
+    ref = sims[0]
+    for other in sims[1:]:
+        for net in nets:
+            assert ref.peek(net) == other.peek(net), (net, lanes)
+        for lane in {0, 1, lanes // 2, lanes - 1}:
+            if lane < lanes:
+                assert ref.seq_state(lane) == other.seq_state(lane), lanes
+        assert ref.lanes_differing_from(0) == other.lanes_differing_from(0)
+
+
+@pytest.mark.parametrize("lanes", LANE_WIDTHS)
+def test_counter_equivalence_with_flips(lanes):
+    module, q = _counter()
+    sims = [make_simulator(module, lanes=lanes, backend=b)
+            for b in ("python", "numpy")]
+    rng = random.Random(lanes)
+    for cyc in range(12):
+        if cyc in (3, 7):
+            net = q[rng.randrange(len(q))]
+            mask = rng.getrandbits(lanes)
+            for sim in sims:
+                sim.flip(net, mask)
+        _assert_same_state(sims, q, lanes)
+        for sim in sims:
+            sim.step()
+
+
+@pytest.mark.parametrize("lanes", LANE_WIDTHS)
+def test_mixed_gates_equivalence(lanes):
+    module, nets = _mixed_logic_module()
+    sims = [make_simulator(module, lanes=lanes, backend=b)
+            for b in ("python", "numpy")]
+    rng = random.Random(lanes * 7 + 1)
+    for _ in range(8):
+        for name in ("a", "c", "s"):
+            value = rng.getrandbits(lanes)
+            for sim in sims:
+                sim.poke(name, value)
+        _assert_same_state(sims, nets, lanes)
+        for sim in sims:
+            sim.step()
+    _assert_same_state(sims, nets, lanes)
+
+
+@pytest.mark.parametrize("lanes", LANE_WIDTHS)
+def test_memory_equivalence_diverged_lanes(lanes):
+    module, ra, wa, wd = _mem_module()
+    rd = [f"rd[{i}]" for i in range(8)]
+    sims = [make_simulator(module, lanes=lanes, backend=b)
+            for b in ("python", "numpy")]
+    rng = random.Random(lanes * 13 + 5)
+    for _ in range(10):
+        # Per-lane-divergent addresses, data and write enables.
+        for nets in (ra, wa, wd):
+            for net in nets:
+                value = rng.getrandbits(lanes)
+                for sim in sims:
+                    sim.poke(net, value)
+        we = rng.getrandbits(lanes)
+        for sim in sims:
+            sim.poke("we", we)
+        _assert_same_state(sims, rd, lanes)
+        for sim in sims:
+            sim.step()
+    _assert_same_state(sims, rd, lanes)
+    # Direct array strikes must agree as well.
+    for sim in sims:
+        sim.mems["arr"].flip_bit(lanes - 1, 2, 5)
+    assert (sims[0].mems["arr"].lane_word(lanes - 1, 2)
+            == sims[1].mems["arr"].lane_word(lanes - 1, 2))
+    _assert_same_state(sims, rd, lanes)
+
+
+@pytest.mark.parametrize("lanes", (1, 65, 256))
+def test_tinycore_program_equivalence(lanes):
+    from repro.designs.tinycore.core import build_tinycore
+    from repro.designs.tinycore.harness import run_gate_level
+    from repro.designs.tinycore.programs import default_dmem, program
+
+    words, dmem = program("fib"), default_dmem("fib")
+    netlist = build_tinycore(words, dmem)
+    nets = sorted(netlist.module.nets)
+    rng = random.Random(lanes)
+    flips = [(rng.randrange(40), rng.choice(nets), rng.getrandbits(lanes))
+             for _ in range(6)]
+
+    def on_cycle(sim, cycle):
+        for cyc, net, mask in flips:
+            if cyc == cycle:
+                sim.flip(net, mask)
+
+    runs = {}
+    sims = {}
+    for backend in ("python", "numpy"):
+        sims[backend] = make_simulator(netlist.module, lanes=lanes, backend=backend)
+        runs[backend] = run_gate_level(
+            words, dmem, netlist=netlist, sim=sims[backend], on_cycle=on_cycle
+        )
+    a, b = runs["python"], runs["numpy"]
+    assert a.outputs == b.outputs
+    assert a.halted_lanes == b.halted_lanes
+    assert (sims["python"].lanes_differing_from(0)
+            == sims["numpy"].lanes_differing_from(0))
+    for lane in range(0, lanes, max(1, lanes // 5)):
+        assert a.architectural_state(lane) == b.architectural_state(lane)
+
+
+class TestRegistry:
+    def test_available_and_preferred(self):
+        names = available_backends()
+        assert "python" in names and "numpy" in names
+        assert preferred_fault_lanes("python") == 63
+        assert preferred_fault_lanes("numpy") == 255
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown simulation backend"):
+            get_backend("verilator")
+
+    def test_lane_cap_enforced(self):
+        module, _ = _counter()
+        with pytest.raises(SimulationError, match="cap"):
+            make_simulator(module, lanes=MAX_LANES + 1)
+
+    def test_batch_width_validated_against_backend(self):
+        from repro.sfi.campaign import FaultPlan, batches
+
+        plans = [FaultPlan("x", 1)] * 10
+        assert [len(b) for b in batches(plans, 4)] == [4, 4, 2]
+        with pytest.raises(CampaignError, match="at least one fault lane"):
+            batches(plans, 0)
+        with pytest.raises(CampaignError, match="per-pass cap"):
+            batches(plans, MAX_LANES + 7, backend="numpy")
+        with pytest.raises(CampaignError, match="cannot batch"):
+            batches(plans, 4, backend="verilator")
+        # None resolves to the backend's preferred width.
+        assert [len(b) for b in batches([FaultPlan("x", 1)] * 300, None,
+                                        backend="numpy")] == [255, 45]

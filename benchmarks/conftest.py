@@ -23,6 +23,27 @@ from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_po
 from repro.workloads import default_suite
 
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+BENCH_SART_PATH = Path(__file__).resolve().parent.parent / "BENCH_sart.json"
+
+
+def _flush_bench(path: Path, data: dict) -> None:
+    """Merge *data* into the JSON sink at *path* (partial runs refresh
+    only their own keys)."""
+    if not data:
+        return
+    merged: dict[str, object] = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(data)
+    merged["host"] = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    }
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
 
 
 @pytest.fixture(scope="session")
@@ -35,21 +56,15 @@ def bench_json():
     """
     data: dict[str, object] = {}
     yield data
-    if not data:
-        return
-    merged: dict[str, object] = {}
-    if BENCH_JSON_PATH.exists():
-        try:
-            merged = json.loads(BENCH_JSON_PATH.read_text())
-        except ValueError:
-            merged = {}
-    merged.update(data)
-    merged["host"] = {
-        "python": sys.version.split()[0],
-        "machine": platform.machine(),
-    }
-    BENCH_JSON_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
-    print(f"\nwrote {BENCH_JSON_PATH}")
+    _flush_bench(BENCH_JSON_PATH, data)
+
+
+@pytest.fixture(scope="session")
+def bench_sart_json():
+    """Propagation-engine benchmark sink, flushed to BENCH_sart.json."""
+    data: dict[str, object] = {}
+    yield data
+    _flush_bench(BENCH_SART_PATH, data)
 
 
 @pytest.fixture(scope="session")

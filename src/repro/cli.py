@@ -58,6 +58,7 @@ def _config_from_args(args) -> SartConfig:
         partition_by_fub=not args.monolithic,
         iterations=args.iterations,
         engine=args.engine,
+        workers=getattr(args, "relax_workers", 1),
     )
 
 
@@ -214,7 +215,10 @@ def cmd_bigcore(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import time
+
     from repro.ace.portavf import suite_ports
+    from repro.core.sart import build_plan
     from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
     from repro.workloads import default_suite
 
@@ -222,12 +226,19 @@ def cmd_sweep(args) -> int:
     traces = default_suite(per_class=2, length=args.workload_length)
     model_ports, _ = suite_ports(traces)
     ports = map_structure_ports(design, model_ports)
-    print("loop_pavf  avg_seq_avf")
+    # Build the design and lower the model once; every sweep point is a
+    # re-evaluation of the same SolvePlan against a new environment.
+    started = time.perf_counter()
+    plan = build_plan(design.module, ports)
+    print(f"solve plan: {plan.n} nodes lowered in {time.perf_counter() - started:.2f}s")
+    print("loop_pavf  avg_seq_avf  seconds")
     for i in range(args.points):
         value = i / (args.points - 1) if args.points > 1 else 0.0
         config = SartConfig(loop_pavf=value, partition_by_fub=False)
-        result = run_sart(design.module, ports, config)
-        print(f"{value:9.2f}  {result.report.weighted_seq_avf:.4f}")
+        started = time.perf_counter()
+        result = run_sart(design.module, ports, config, plan=plan)
+        elapsed = time.perf_counter() - started
+        print(f"{value:9.2f}  {result.report.weighted_seq_avf:.4f}  {elapsed:7.3f}")
     return 0
 
 
@@ -319,7 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relaxation iteration budget (paper: 20)")
         p.add_argument("--monolithic", action="store_true",
                        help="solve the whole graph at once instead of per FUB")
-        p.add_argument("--engine", choices=("dataflow", "walk"), default="dataflow")
+        p.add_argument("--engine", choices=("compiled", "dataflow", "walk"),
+                       default="compiled",
+                       help="propagation engine (compiled: CSR solve plan; "
+                            "dataflow: dict fixpoint; walk: faithful walks)")
+        p.add_argument("--relax-workers", type=int, default=1, metavar="N",
+                       help="worker processes for partitioned relaxation "
+                            "(compiled engine; identical results at any N)")
         p.add_argument("--export-csv", metavar="PATH",
                        help="write per-node AVFs as CSV")
         p.add_argument("--export-fubs", metavar="PATH",

@@ -1,0 +1,1000 @@
+"""Compiled propagation core: CSR graph kernel and reusable solve plans.
+
+The dict-based engines in :mod:`repro.core.dataflow` re-extract the
+dependency structure (indegrees, dependents, topological order) from
+string-keyed maps on every solve — once per FUB per relaxation iteration.
+This module lowers the annotated model **once** into integer form:
+
+* net names are interned to dense node ids,
+* fan-in/fan-out become CSR ``(indptr, indices)`` arrays,
+* annotation sets are interned to dense set ids
+  (:class:`repro.core.pavf.SetInterner`) with a memoized union kernel,
+* the forward and backward topological orders are computed once and
+  per-FUB schedules are derived from them by bucketing,
+* loop detection runs as an integer Tarjan over the CSR arrays.
+
+A :class:`SolvePlan` bundles all of that and is reusable across many
+:class:`~repro.core.pavf.PavfEnv` bindings: monolithic solves are purely
+structural, so their set-id vectors are cached and a new environment (a
+Figure 8 sweep point, a ``loop_pavf_per_net`` study) is a re-evaluation,
+not a re-solve. Partitioned relaxation re-runs per-FUB kernels against the
+cached schedules, re-solving only FUBs whose imported boundary values
+changed in the previous merge, and can fan the independent per-iteration
+FUB solves out across a process pool (the worker-pool pattern of
+:mod:`repro.sfi.parallel`) with results that are identical at any worker
+count.
+
+Numeric evaluation of interned sets (:class:`SetEvaluator`) is the
+index-based kernel shared by resolution, FUBIO merging and the relaxation
+trace; it uses numpy segmented sums when the ``[numpy]`` extra is
+installed and a pure-Python loop otherwise, with bit-identical results
+(both sum the same atoms in the same stable order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SartError
+from repro.core import controlregs
+from repro.core.graphmodel import AvfModel, StructurePorts, build_model, structure_nets
+from repro.core.pavf import (
+    Atom,
+    CTRL,
+    LOOP,
+    PavfEnv,
+    SetInterner,
+    TOP_SET,
+    collapse_if_large,
+    union,
+)
+from repro.core.partition import FubPartition
+from repro.core.relaxation import RelaxationTrace
+from repro.core.resolve import (
+    NodeAvf,
+    ROLE_CONST,
+    ROLE_CTRL,
+    ROLE_INPUT,
+    ROLE_LOGIC,
+    ROLE_LOOP,
+    ROLE_MEM,
+    ROLE_STRUCT,
+)
+from repro.netlist.graph import NetGraph, NodeKind, extract_graph
+from repro.netlist.netlist import Module
+
+try:  # the [numpy] extra is optional; every kernel has a pure-Python path
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+_EMPTY_ID = SetInterner.EMPTY_ID
+_TOP_ID = SetInterner.TOP_ID
+
+# avf-source modes per node, fixed at plan build time (resolve precedence).
+_MODE_MIN = 0      # AVF = MIN(forward, backward)
+_MODE_STRUCT = 1   # measured structure AVF when available, else MIN
+_MODE_ATOM = 2     # injected atom value (loop boundaries, control regs)
+
+
+class SetEvaluator:
+    """Numeric values of interned pAVF sets under one environment.
+
+    Values are cached per set id, so the cost of an environment is one
+    capped sum per *distinct* set rather than per node per use.
+
+    Both code paths reduce a set's sorted atom values through the same
+    balanced binary tree (pairwise halving, zero-padded to a power of
+    two). Element-wise IEEE additions are exact and ``x + 0.0 == x`` for
+    the non-negative values involved, so the tree's rounding is fully
+    determined by its shape — the vectorized numpy path (one batched
+    halving loop per size bucket) and the pure-Python fallback are
+    bit-identical by construction, and a value never depends on how
+    ``fill`` batches were formed. (A left-to-right ``reduceat`` sum would
+    NOT be reproducible: numpy's reductions use SIMD partial
+    accumulators with version-dependent rounding order.)
+    """
+
+    def __init__(
+        self, interner: SetInterner, env: PavfEnv, *, use_numpy: bool | None = None
+    ):
+        self.interner = interner
+        self.env = env
+        self.use_numpy = HAVE_NUMPY if use_numpy is None else (use_numpy and HAVE_NUMPY)
+        self._vals: list[float | None] = [0.0, 1.0]  # EMPTY, TOP
+        self._atom_vals: dict[Atom, float] = {}
+
+    def _atom_value(self, atom: Atom) -> float:
+        val = self._atom_vals.get(atom)
+        if val is None:
+            val = self.env.lookup(atom)
+            self._atom_vals[atom] = val
+        return val
+
+    def value(self, sid: int) -> float:
+        """Capped tree-sum value of set *sid* (cached)."""
+        vals = self._vals
+        if sid >= len(vals):
+            vals.extend([None] * (len(self.interner) - len(vals)))
+        val = vals[sid]
+        if val is None:
+            atom_value = self._atom_value
+            level = [atom_value(a) for a in self.interner.sorted_atoms(sid)]
+            k = len(level)
+            if k & (k - 1):  # pad to the next power of two with exact zeros
+                level.extend([0.0] * ((1 << k.bit_length()) - k))
+                k = len(level)
+            while k > 1:
+                level = [level[i] + level[i + 1] for i in range(0, k, 2)]
+                k >>= 1
+            val = level[0]
+            if val > 1.0:
+                val = 1.0
+            vals[sid] = val
+        return val
+
+    def fill(self, sids: Iterable[int]) -> None:
+        """Precompute values for *sids* in one batch (numpy when available)."""
+        vals = self._vals
+        if len(vals) < len(self.interner):
+            vals.extend([None] * (len(self.interner) - len(vals)))
+        pending = sorted({s for s in sids if s >= 0 and vals[s] is None})
+        if not pending:
+            return
+        if not self.use_numpy:
+            for sid in pending:
+                self.value(sid)
+            return
+        # Bucket by padded width so each bucket is one rectangular array
+        # reduced with a batched version of the same halving loop.
+        sorted_atoms = self.interner.sorted_atoms
+        atom_value = self._atom_value
+        buckets: dict[int, tuple[list[int], list[tuple[Atom, ...]]]] = {}
+        for sid in pending:
+            atoms = sorted_atoms(sid)
+            k = len(atoms)
+            width = k if not (k & (k - 1)) else 1 << k.bit_length()
+            ids, rows = buckets.setdefault(width, ([], []))
+            ids.append(sid)
+            rows.append(atoms)
+        for width, (ids, rows) in buckets.items():
+            arr = _np.zeros((len(ids), width), dtype=_np.float64)
+            for i, atoms in enumerate(rows):
+                arr[i, : len(atoms)] = [atom_value(a) for a in atoms]
+            while arr.shape[1] > 1:
+                arr = arr[:, 0::2] + arr[:, 1::2]
+            for sid, val in zip(ids, _np.minimum(arr[:, 0], 1.0).tolist()):
+                vals[sid] = val
+
+
+class SolvePlan:
+    """One-time lowering of a design for many propagation solves.
+
+    Build with :meth:`build` (or :func:`repro.core.sart.build_plan`), then
+    pass to ``run_sart(..., plan=plan)`` any number of times. Everything
+    that does not depend on the numeric environment — graph extraction,
+    loop breaking, control-register detection, FUB partitioning, topo
+    order, and the monolithic annotation sets themselves — is computed
+    once and reused.
+    """
+
+    def __init__(self) -> None:
+        self.graph: NetGraph
+        self.model: AvfModel
+        self.interner = SetInterner()
+        self.names: list[str] = []
+        self.ids: dict[str, int] = {}
+        self.n = 0
+        # CSR connectivity.
+        self.fanin_ptr: list[int] = [0]
+        self.fanin_ix: list[int] = []
+        self.fanout_ptr: list[int] = [0]
+        self.fanout_ix: list[int] = []
+        # Per-node fixed roles as set ids (-1 = not fixed).
+        self.fwd_fixed: list[int] = []
+        self.through: list[int] = []
+        self.sink: list[int] = []
+        # Global topological orders and per-FUB schedules.
+        self.forder: list[int] = []
+        self.border: list[int] = []
+        self.fub_names: list[str] = []
+        self.fub_of: list[int] = []
+        self.fub_forder: list[list[int]] = []
+        self.fub_border: list[list[int]] = []
+        # FUBIO interconnect: export net ids and the FUBs importing them.
+        self.f_exports: list[int] = []
+        self.b_exports: list[int] = []
+        self.f_importers: dict[int, tuple[int, ...]] = {}
+        self.b_importers: dict[int, tuple[int, ...]] = {}
+        # Non-structure sequential node ids per FUB (relaxation trace).
+        self.fub_seq: list[list[int]] = []
+        # Resolution metadata.
+        self.kind_l: list[str] = []
+        self.fub_l: list[str] = []
+        self.role_l: list[str] = []
+        self.mode_l: list[int] = []
+        self.special_l: list[object] = []  # struct name | injected Atom | None
+        # Structural knobs the plan was built with (for config validation).
+        self.knobs: dict[str, object] = {}
+        # Caches (dropped when the plan is pickled to worker processes).
+        self._union_memo: dict[int, dict[tuple[int, ...], int]] = {}
+        self._mono_cache: dict[tuple[int, str], tuple[list[int], list[int]]] = {}
+        self._partition: FubPartition | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        design: Module | NetGraph,
+        structures: Mapping[str, StructurePorts] | None = None,
+        *,
+        detect_ctrl: bool = True,
+        ctrl_patterns: tuple[str, ...] = controlregs.DEFAULT_PATTERNS,
+        port_traffic_on_addresses: bool = True,
+        extra_struct_bits: Mapping[str, tuple[str, int]] | None = None,
+    ) -> "SolvePlan":
+        plan = cls()
+        graph = design if isinstance(design, NetGraph) else extract_graph(design)
+        plan.graph = graph
+        plan.knobs = {
+            "detect_ctrl": detect_ctrl,
+            "ctrl_patterns": tuple(ctrl_patterns),
+            "port_traffic_on_addresses": port_traffic_on_addresses,
+        }
+
+        plan._lower_connectivity()
+        struct_nets = structure_nets(graph, extra_struct_bits)
+        ctrl_nets = (
+            controlregs.find_control_registers(graph, patterns=ctrl_patterns)
+            if detect_ctrl
+            else set()
+        )
+        loop_nets = plan._find_loop_nets(struct_nets | ctrl_nets)
+        plan.model = build_model(
+            graph,
+            structures,
+            loop_nets=loop_nets,
+            ctrl_nets=ctrl_nets,
+            port_traffic_on_addresses=port_traffic_on_addresses,
+            extra_struct_bits=extra_struct_bits,
+        )
+        plan._lower_model()
+        plan._build_orders()
+        plan._build_partition_arrays()
+        plan._build_resolution_metadata()
+        return plan
+
+    def _lower_connectivity(self) -> None:
+        graph = self.graph
+        names = self.names = list(graph.nodes)
+        ids = self.ids = {net: i for i, net in enumerate(names)}
+        self.n = n = len(names)
+        fanin_ptr, fanin_ix = self.fanin_ptr, self.fanin_ix
+        outdeg = [0] * n
+        for net in names:
+            for src in graph.nodes[net].fanin:
+                sid = ids[src]
+                fanin_ix.append(sid)
+                outdeg[sid] += 1
+            fanin_ptr.append(len(fanin_ix))
+        fanout_ptr = self.fanout_ptr
+        total = 0
+        for d in outdeg:
+            total += d
+            fanout_ptr.append(total)
+        fanout_ix = self.fanout_ix = [0] * total
+        cursor = fanout_ptr[:-1].copy()
+        for nid in range(n):
+            for i in range(fanin_ptr[nid], fanin_ptr[nid + 1]):
+                src = fanin_ix[i]
+                fanout_ix[cursor[src]] = nid
+                cursor[src] += 1
+
+    def _find_loop_nets(self, cut: set[str]) -> set[str]:
+        """Integer Tarjan over the CSR fan-in arrays (paper Section 4.3).
+
+        Same classification as :func:`repro.core.loops.find_loop_nets`:
+        nodes in *cut* break cycles, sequential members of non-trivial
+        SCCs (or with self edges) become loop boundaries.
+        """
+        n = self.n
+        ids, names = self.ids, self.names
+        fanin_ptr, fanin_ix = self.fanin_ptr, self.fanin_ix
+        nodes = self.graph.nodes
+        is_cut = bytearray(n)
+        for net in cut:
+            nid = ids.get(net)
+            if nid is not None:
+                is_cut[nid] = 1
+
+        UNSEEN = -1
+        index = [UNSEEN] * n
+        lowlink = [0] * n
+        on_stack = bytearray(n)
+        stack: list[int] = []
+        counter = 0
+        loops: set[str] = set()
+
+        def classify(component: list[int]) -> None:
+            if len(component) == 1:
+                nid = component[0]
+                if is_cut[nid]:
+                    return
+                lo, hi = fanin_ptr[nid], fanin_ptr[nid + 1]
+                if nid not in fanin_ix[lo:hi]:
+                    return
+            seq = [
+                names[m]
+                for m in component
+                if nodes[names[m]].kind == NodeKind.SEQ
+            ]
+            if not seq:
+                raise SartError(
+                    "combinational cycle in node graph (validation should "
+                    f"have caught this): {sorted(names[m] for m in component)[:8]}"
+                )
+            loops.update(seq)
+
+        for root in range(n):
+            if index[root] != UNSEEN:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                nid, child_i = work[-1]
+                if child_i == 0:
+                    index[nid] = lowlink[nid] = counter
+                    counter += 1
+                    stack.append(nid)
+                    on_stack[nid] = 1
+                lo = fanin_ptr[nid]
+                hi = lo if is_cut[nid] else fanin_ptr[nid + 1]
+                advanced = False
+                for i in range(lo + child_i, hi):
+                    child = fanin_ix[i]
+                    if index[child] == UNSEEN:
+                        work[-1] = (nid, i - lo + 1)
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if on_stack[child]:
+                        if index[child] < lowlink[nid]:
+                            lowlink[nid] = index[child]
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if lowlink[nid] < lowlink[parent]:
+                        lowlink[parent] = lowlink[nid]
+                if lowlink[nid] == index[nid]:
+                    component: list[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = 0
+                        component.append(member)
+                        if member == nid:
+                            break
+                    classify(component)
+        return loops
+
+    def _lower_model(self) -> None:
+        model, ids, n = self.model, self.ids, self.n
+        intern = self.interner.id_of
+        fwd_fixed = self.fwd_fixed = [-1] * n
+        for net, atoms in model.forward_fixed.items():
+            fwd_fixed[ids[net]] = intern(atoms)
+        through = self.through = [-1] * n
+        for net, atoms in model.contrib_through.items():
+            through[ids[net]] = intern(atoms)
+        sink = self.sink = [-1] * n
+        for net, atoms in model.static_sinks.items():
+            sink[ids[net]] = intern(frozenset(atoms))
+
+    def _build_orders(self) -> None:
+        n = self.n
+        # Forward: fixed nodes both depend on nothing and are not deps.
+        # Backward: through-fixed nodes are not deps (their contribution is
+        # the fixed set) but their OWN value still comes from consumers.
+        self.forder = self._kahn(
+            self.fanin_ptr,
+            self.fanin_ix,
+            self.fanout_ptr,
+            self.fanout_ix,
+            self.fwd_fixed,
+            self.fwd_fixed,
+            "forward",
+        )
+        self.border = self._kahn(
+            self.fanout_ptr,
+            self.fanout_ix,
+            self.fanin_ptr,
+            self.fanin_ix,
+            self.through,
+            None,
+            "backward",
+        )
+        # FUB index per node; schedules are the global orders bucketed by
+        # FUB (a topological order of a subgraph is any subsequence of a
+        # topological order of the full graph).
+        fub_ix: dict[str, int] = {}
+        fub_of = self.fub_of = [0] * n
+        fub_l = self.fub_l = [""] * n
+        graph_nodes = self.graph.nodes
+        for nid, net in enumerate(self.names):
+            fub = graph_nodes[net].fub
+            fub_l[nid] = fub
+            ix = fub_ix.get(fub)
+            if ix is None:
+                ix = fub_ix[fub] = len(fub_ix)
+            fub_of[nid] = ix
+        self.fub_names = list(fub_ix)
+        n_fubs = len(fub_ix)
+        self.fub_forder = [[] for _ in range(n_fubs)]
+        for nid in self.forder:
+            self.fub_forder[fub_of[nid]].append(nid)
+        self.fub_border = [[] for _ in range(n_fubs)]
+        for nid in self.border:
+            self.fub_border[fub_of[nid]].append(nid)
+
+    def _kahn(
+        self,
+        dep_ptr: list[int],
+        dep_ix: list[int],
+        rev_ptr: list[int],
+        rev_ix: list[int],
+        dep_fixed: list[int],
+        self_fixed: list[int] | None,
+        label: str,
+    ) -> list[int]:
+        """Topological order over the ``dep`` CSR; *dep_fixed* nodes don't
+        count as dependencies, *self_fixed* nodes additionally have no
+        dependencies of their own. ``rev`` is the transposed CSR, walked
+        when a finished node releases its dependents (no adjacency lists
+        are materialized)."""
+        n = self.n
+        indeg = [0] * n
+        for nid in range(n):
+            if self_fixed is not None and self_fixed[nid] >= 0:
+                continue
+            count = 0
+            for i in range(dep_ptr[nid], dep_ptr[nid + 1]):
+                if dep_fixed[dep_ix[i]] < 0:
+                    count += 1
+            indeg[nid] = count
+        ready = [nid for nid in range(n) if indeg[nid] == 0]
+        order: list[int] = []
+        while ready:
+            nid = ready.pop()
+            order.append(nid)
+            if dep_fixed[nid] >= 0:
+                continue  # dependents never counted this node
+            for i in range(rev_ptr[nid], rev_ptr[nid + 1]):
+                dep = rev_ix[i]
+                if self_fixed is not None and self_fixed[dep] >= 0:
+                    continue
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    ready.append(dep)
+        if len(order) != n:
+            stuck = [self.names[i] for i in range(n) if indeg[i] > 0][:8]
+            raise SartError(f"{label} solve: cyclic dependencies remain at {stuck}")
+        return order
+
+    def _build_partition_arrays(self) -> None:
+        fanin_ptr, fanin_ix = self.fanin_ptr, self.fanin_ix
+        fub_of = self.fub_of
+        fwd_fixed, through = self.fwd_fixed, self.through
+        f_imp: dict[int, set[int]] = {}
+        b_imp: dict[int, set[int]] = {}
+        f_exports: set[int] = set()
+        b_exports: set[int] = set()
+        for nid in range(self.n):
+            f = fub_of[nid]
+            for i in range(fanin_ptr[nid], fanin_ptr[nid + 1]):
+                d = fanin_ix[i]
+                if fub_of[d] == f:
+                    continue
+                f_exports.add(d)
+                b_exports.add(nid)
+                # Importers are FUBs that actually read the boundary entry:
+                # fixed drivers / fixed-through consumers are read from
+                # their fixed sets instead, so changes there dirty nobody.
+                if fwd_fixed[d] < 0:
+                    f_imp.setdefault(d, set()).add(f)
+                if through[nid] < 0:
+                    b_imp.setdefault(nid, set()).add(fub_of[d])
+        self.f_exports = sorted(f_exports)
+        self.b_exports = sorted(b_exports)
+        self.f_importers = {nid: tuple(sorted(s)) for nid, s in f_imp.items()}
+        self.b_importers = {nid: tuple(sorted(s)) for nid, s in b_imp.items()}
+
+        struct_ids = {self.ids[net] for net in self.model.struct_nodes}
+        self.fub_seq = [[] for _ in self.fub_names]
+        nodes = self.graph.nodes
+        for nid, net in enumerate(self.names):
+            if nodes[net].kind == NodeKind.SEQ and nid not in struct_ids:
+                self.fub_seq[fub_of[nid]].append(nid)
+
+    def _build_resolution_metadata(self) -> None:
+        model, names, nodes = self.model, self.names, self.graph.nodes
+        kind_l = self.kind_l = [""] * self.n
+        role_l = self.role_l = [ROLE_LOGIC] * self.n
+        mode_l = self.mode_l = [_MODE_MIN] * self.n
+        special_l = self.special_l = [None] * self.n
+        # visited is forced True for struct/loop/ctrl/mem nodes.
+        self.forced_visited = forced = bytearray(self.n)
+        for nid, net in enumerate(names):
+            node = nodes[net]
+            kind_l[nid] = node.kind
+            if net in model.struct_nodes:
+                role_l[nid] = ROLE_STRUCT
+                mode_l[nid] = _MODE_STRUCT
+                special_l[nid] = model.struct_nodes[net][0]
+                forced[nid] = 1
+            elif net in model.loop_nets:
+                role_l[nid] = ROLE_LOOP
+                mode_l[nid] = _MODE_ATOM
+                special_l[nid] = Atom(LOOP, net)
+                forced[nid] = 1
+            elif net in model.ctrl_nets:
+                role_l[nid] = ROLE_CTRL
+                mode_l[nid] = _MODE_ATOM
+                special_l[nid] = Atom(CTRL, net)
+                forced[nid] = 1
+            elif node.kind == NodeKind.CONST:
+                role_l[nid] = ROLE_CONST
+            elif node.kind == NodeKind.INPUT:
+                role_l[nid] = ROLE_INPUT
+            elif node.kind == NodeKind.MEM_RDATA:
+                role_l[nid] = ROLE_MEM
+                forced[nid] = 1
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def n_fubs(self) -> int:
+        return len(self.fub_names)
+
+    def check_config(self, config) -> None:
+        """Reject configs whose *structural* knobs differ from the plan's.
+
+        Environment knobs (loop/ctrl/const/boundary pAVFs) and solve knobs
+        (engine, partitioning, iterations, max_terms, dangling) are free
+        to vary across runs of one plan.
+        """
+        wanted = {
+            "detect_ctrl": config.detect_ctrl,
+            "ctrl_patterns": tuple(config.ctrl_patterns),
+            "port_traffic_on_addresses": config.port_traffic_on_addresses,
+        }
+        if wanted != self.knobs:
+            diff = sorted(k for k in wanted if wanted[k] != self.knobs[k])
+            raise SartError(
+                f"SolvePlan was built with different structural settings: {diff}; "
+                "rebuild the plan for this config"
+            )
+
+    def partition(self) -> FubPartition:
+        """String-keyed view of the FUB partition (lazy, cached)."""
+        if self._partition is None:
+            part = FubPartition()
+            for fub in self.fub_names:
+                part.fubs[fub] = set()
+            names, fub_of = self.names, self.fub_of
+            fub_names = self.fub_names
+            for nid, net in enumerate(names):
+                part.fubs[fub_names[fub_of[nid]]].add(net)
+            part.forward_exports = {names[nid] for nid in self.f_exports}
+            part.backward_exports = {names[nid] for nid in self.b_exports}
+            self._partition = part
+        return self._partition
+
+    def sets_dict(self, sids: Sequence[int]) -> dict[str, frozenset[Atom]]:
+        """Materialize a set-id vector as the legacy net -> frozenset map."""
+        sets = self.interner.sets
+        names = self.names
+        return {
+            names[nid]: sets[sid]
+            for nid, sid in enumerate(sids)
+            if sid >= 0
+        }
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Worker processes rebuild memo/evaluation caches on demand; only
+        # the interner table itself must travel (fixed ids reference it).
+        state["_union_memo"] = {}
+        state["_mono_cache"] = {}
+        state["_partition"] = None
+        return state
+
+    def _memo_for(self, max_terms: int) -> dict[tuple[int, ...], int]:
+        memo = self._union_memo.get(max_terms)
+        if memo is None:
+            memo = self._union_memo[max_terms] = {}
+        return memo
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def _forward_pass(
+        self,
+        order: list[int],
+        this_fub: int | None,
+        f_bnd: list[int] | None,
+        out: list[int],
+        max_terms: int,
+    ) -> None:
+        """Forward fixpoint over *order* (one pass == the fixpoint).
+
+        ``this_fub is None`` solves monolithically; otherwise fan-in nets
+        in other FUBs read the *f_bnd* boundary vector (paper Eq 7 FUBIO).
+        """
+        fanin_ptr, fanin_ix = self.fanin_ptr, self.fanin_ix
+        fixed, fub_of = self.fwd_fixed, self.fub_of
+        sets, intern = self.interner.sets, self.interner.id_of
+        memo = self._memo_for(max_terms)
+        for nid in order:
+            sid = fixed[nid]
+            if sid >= 0:
+                out[nid] = sid
+                continue
+            lo, hi = fanin_ptr[nid], fanin_ptr[nid + 1]
+            if lo == hi:
+                out[nid] = _EMPTY_ID
+                continue
+            if hi - lo == 1:
+                d = fanin_ix[lo]
+                ds = fixed[d]
+                if ds < 0:
+                    if this_fub is not None and fub_of[d] != this_fub:
+                        ds = f_bnd[d]
+                    else:
+                        ds = out[d]
+                out[nid] = ds
+                continue
+            key_list = []
+            for i in range(lo, hi):
+                d = fanin_ix[i]
+                ds = fixed[d]
+                if ds < 0:
+                    if this_fub is not None and fub_of[d] != this_fub:
+                        ds = f_bnd[d]
+                    else:
+                        ds = out[d]
+                key_list.append(ds)
+            key = tuple(key_list)
+            sid = memo.get(key)
+            if sid is None:
+                merged = collapse_if_large(union(*[sets[s] for s in key]), max_terms)
+                sid = intern(merged)
+                memo[key] = sid
+            out[nid] = sid
+
+    def _backward_pass(
+        self,
+        order: list[int],
+        this_fub: int | None,
+        b_bnd: list[int] | None,
+        out: list[int],
+        max_terms: int,
+        dangling: str,
+    ) -> None:
+        """Backward fixpoint over *order* (consumers pass annotations up)."""
+        fanout_ptr, fanout_ix = self.fanout_ptr, self.fanout_ix
+        through, fub_of, sink = self.through, self.fub_of, self.sink
+        sets, intern = self.interner.sets, self.interner.id_of
+        memo = self._memo_for(max_terms)
+        dangling_id = _EMPTY_ID if dangling == "unace" else _TOP_ID
+        for nid in order:
+            lo, hi = fanout_ptr[nid], fanout_ptr[nid + 1]
+            sk = sink[nid]
+            if lo == hi and sk < 0:
+                out[nid] = dangling_id
+                continue
+            if hi - lo == 1 and sk < 0:
+                c = fanout_ix[lo]
+                cs = through[c]
+                if cs < 0:
+                    if this_fub is not None and fub_of[c] != this_fub:
+                        cs = b_bnd[c]
+                    else:
+                        cs = out[c]
+                out[nid] = cs
+                continue
+            if lo == hi:  # sink only
+                out[nid] = sk
+                continue
+            key_list = []
+            for i in range(lo, hi):
+                c = fanout_ix[i]
+                cs = through[c]
+                if cs < 0:
+                    if this_fub is not None and fub_of[c] != this_fub:
+                        cs = b_bnd[c]
+                    else:
+                        cs = out[c]
+                key_list.append(cs)
+            if sk >= 0:
+                key_list.append(sk)
+            key = tuple(key_list)
+            sid = memo.get(key)
+            if sid is None:
+                merged = collapse_if_large(union(*[sets[s] for s in key]), max_terms)
+                sid = intern(merged)
+                memo[key] = sid
+            out[nid] = sid
+
+    def solve_monolithic(
+        self, max_terms: int = 0, dangling: str = "unace"
+    ) -> tuple[list[int], list[int]]:
+        """Whole-graph solve; cached — the sets are environment-free.
+
+        This cache is what turns the Figure 8 sweep into re-evaluations:
+        every sweep point shares these exact annotation vectors and only
+        re-binds atom values.
+        """
+        key = (max_terms, dangling)
+        cached = self._mono_cache.get(key)
+        if cached is None:
+            f_out = [-1] * self.n
+            self._forward_pass(self.forder, None, None, f_out, max_terms)
+            b_out = [-1] * self.n
+            self._backward_pass(self.border, None, None, b_out, max_terms, dangling)
+            cached = self._mono_cache[key] = (f_out, b_out)
+        return cached
+
+
+# ----------------------------------------------------------------------
+# partitioned relaxation (paper Section 5.2) on the compiled kernels
+# ----------------------------------------------------------------------
+
+_POOL_PLAN: SolvePlan | None = None
+
+
+def _pool_init(plan: SolvePlan) -> None:
+    """Worker-process initializer: adopt the pickled plan once."""
+    global _POOL_PLAN
+    _POOL_PLAN = plan
+    plan._w_f_bnd = [_TOP_ID] * plan.n
+    plan._w_b_bnd = [_TOP_ID] * plan.n
+    plan._w_f_out = [-1] * plan.n
+    plan._w_b_out = [-1] * plan.n
+
+
+def _pool_solve_fub(task):
+    """Solve one FUB against shipped boundary values; return its sets.
+
+    Pure function of (plan, task): workers at any count produce identical
+    results, and the master folds them back in submission order — the
+    same determinism contract as :mod:`repro.sfi.parallel`.
+    """
+    fub_idx, f_items, b_items, max_terms, dangling = task
+    plan = _POOL_PLAN
+    intern = plan.interner.id_of
+    sets = plan.interner.sets
+    f_bnd, b_bnd = plan._w_f_bnd, plan._w_b_bnd
+    for nid, atoms in f_items:
+        f_bnd[nid] = intern(atoms)
+    for nid, atoms in b_items:
+        b_bnd[nid] = intern(atoms)
+    f_out, b_out = plan._w_f_out, plan._w_b_out
+    forder = plan.fub_forder[fub_idx]
+    border = plan.fub_border[fub_idx]
+    plan._forward_pass(forder, fub_idx, f_bnd, f_out, max_terms)
+    plan._backward_pass(border, fub_idx, b_bnd, b_out, max_terms, dangling)
+    return (
+        fub_idx,
+        [(nid, sets[f_out[nid]]) for nid in forder],
+        [(nid, sets[b_out[nid]]) for nid in border],
+    )
+
+
+def relax_compiled(
+    plan: SolvePlan,
+    env: PavfEnv,
+    *,
+    evaluator: SetEvaluator | None = None,
+    iterations: int = 20,
+    tol: float = 1e-9,
+    max_terms: int = 0,
+    dangling: str = "unace",
+    workers: int = 1,
+) -> tuple[list[int], list[int], RelaxationTrace]:
+    """Jacobi relaxation across FUB partitions on the compiled kernels.
+
+    Matches :func:`repro.core.relaxation.relax` iteration for iteration
+    (same merges, same trace, same convergence decision) with two
+    engine-level speedups that cannot change results:
+
+    * a FUB is re-solved only when one of the boundary values it imports
+      changed in the previous merge (an unchanged-input re-solve would
+      reproduce its previous sets verbatim), and
+    * with ``workers > 1`` the independent per-iteration FUB solves run
+      on a process pool, folded back in deterministic submission order.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    ev = evaluator or SetEvaluator(plan.interner, env)
+    n, n_fubs = plan.n, plan.n_fubs
+    interner = plan.interner
+    f_bnd = [_TOP_ID] * n
+    b_bnd = [_TOP_ID] * n
+    f_out = [-1] * n
+    b_out = [-1] * n
+    trace = RelaxationTrace()
+    dirty: list[int] = list(range(n_fubs))
+    workers = max(1, int(workers or 1))
+    pool = None
+    try:
+        if workers > 1 and n_fubs > 1:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(workers, n_fubs),
+                    initializer=_pool_init,
+                    initargs=(plan,),
+                )
+            except (OSError, ValueError) as exc:  # pragma: no cover
+                raise SartError(f"could not start relaxation workers: {exc}") from exc
+
+        # Per-FUB import lists: the boundary entries each FUB's kernels read.
+        f_imp_by_fub: list[list[int]] = [[] for _ in range(n_fubs)]
+        for nid, fubs in plan.f_importers.items():
+            for f in fubs:
+                f_imp_by_fub[f].append(nid)
+        b_imp_by_fub: list[list[int]] = [[] for _ in range(n_fubs)]
+        for nid, fubs in plan.b_importers.items():
+            for f in fubs:
+                b_imp_by_fub[f].append(nid)
+
+        for iteration in range(iterations):
+            if pool is not None and len(dirty) > 1:
+                sets = interner.sets
+                tasks = [
+                    (
+                        f,
+                        [(nid, sets[f_bnd[nid]]) for nid in f_imp_by_fub[f]],
+                        [(nid, sets[b_bnd[nid]]) for nid in b_imp_by_fub[f]],
+                        max_terms,
+                        dangling,
+                    )
+                    for f in dirty
+                ]
+                try:
+                    results = list(pool.map(_pool_solve_fub, tasks))
+                except BrokenProcessPool as exc:  # pragma: no cover
+                    raise SartError(
+                        "a relaxation worker process died unexpectedly"
+                    ) from exc
+                intern = interner.id_of
+                for fub_idx, f_items, b_items in results:
+                    for nid, atoms in f_items:
+                        f_out[nid] = intern(atoms)
+                    for nid, atoms in b_items:
+                        b_out[nid] = intern(atoms)
+            else:
+                for f in dirty:
+                    plan._forward_pass(plan.fub_forder[f], f, f_bnd, f_out, max_terms)
+                    plan._backward_pass(
+                        plan.fub_border[f], f, b_bnd, b_out, max_terms, dangling
+                    )
+
+            # FUBIO merge (MIN rule), marking the importers of every
+            # changed entry dirty for the next iteration.
+            delta = 0.0
+            next_dirty: set[int] = set()
+            value = ev.value
+            for nid in plan.f_exports:
+                new = f_out[nid]
+                old = f_bnd[nid]
+                if new == old:
+                    continue
+                new_val, old_val = value(new), value(old)
+                if new_val < old_val:
+                    f_bnd[nid] = new
+                    next_dirty.update(plan.f_importers.get(nid, ()))
+                    if old_val - new_val > delta:
+                        delta = old_val - new_val
+            for nid in plan.b_exports:
+                new = b_out[nid]
+                old = b_bnd[nid]
+                if new == old:
+                    continue
+                new_val, old_val = value(new), value(old)
+                if new_val < old_val:
+                    b_bnd[nid] = new
+                    next_dirty.update(plan.b_importers.get(nid, ()))
+                    if old_val - new_val > delta:
+                        delta = old_val - new_val
+
+            trace.iterations = iteration + 1
+            trace.max_delta.append(delta)
+            _record_fub_averages_compiled(plan, f_out, b_out, ev, trace)
+            if delta <= tol:
+                trace.converged = True
+                break
+            dirty = sorted(next_dirty)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return f_out, b_out, trace
+
+
+def _record_fub_averages_compiled(
+    plan: SolvePlan,
+    f_out: list[int],
+    b_out: list[int],
+    ev: SetEvaluator,
+    trace: RelaxationTrace,
+) -> None:
+    ev.fill(f_out)
+    ev.fill(b_out)
+    vals = ev._vals
+    for f, fub in enumerate(plan.fub_names):
+        seq = plan.fub_seq[f]
+        if seq:
+            total = 0.0
+            for nid in seq:
+                f_sid, b_sid = f_out[nid], b_out[nid]
+                f_val = vals[f_sid] if f_sid >= 0 else 1.0
+                b_val = vals[b_sid] if b_sid >= 0 else 1.0
+                total += f_val if f_val < b_val else b_val
+            avg = total / len(seq)
+        else:
+            avg = 0.0
+        trace.fub_avg.setdefault(fub, []).append(avg)
+
+
+# ----------------------------------------------------------------------
+# resolution (paper Table 1) on set-id vectors
+# ----------------------------------------------------------------------
+
+def resolve_ids(
+    plan: SolvePlan,
+    f_sid: Sequence[int],
+    b_sid: Sequence[int],
+    env: PavfEnv,
+    *,
+    evaluator: SetEvaluator | None = None,
+    structures: Mapping[str, StructurePorts] | None = None,
+) -> dict[str, NodeAvf]:
+    """Index-based equivalent of :func:`repro.core.resolve.resolve`."""
+    ev = evaluator or SetEvaluator(plan.interner, env)
+    ev.fill(f_sid)
+    ev.fill(b_sid)
+    structures = structures if structures is not None else plan.model.structures
+    vals = ev._vals
+    names, kind_l, fub_l = plan.names, plan.kind_l, plan.fub_l
+    role_l, mode_l, special_l = plan.role_l, plan.mode_l, plan.special_l
+    forced = plan.forced_visited
+    lookup = env.lookup
+    node_avf = NodeAvf
+    out: dict[str, NodeAvf] = {}
+    for nid, net in enumerate(names):
+        fs, bs = f_sid[nid], b_sid[nid]
+        f_val = vals[fs] if fs >= 0 else 1.0
+        b_val = vals[bs] if bs >= 0 else 1.0
+        low = f_val if f_val < b_val else b_val
+        mode = mode_l[nid]
+        if mode == _MODE_MIN:
+            avf = low
+        elif mode == _MODE_STRUCT:
+            ports = structures.get(special_l[nid])
+            measured = ports.avf if ports is not None else None
+            avf = measured if measured is not None else low
+        else:  # _MODE_ATOM: injected loop/ctrl value
+            avf = lookup(special_l[nid])
+        # Unions absorb TOP, so a set contains TOP iff it *is* TOP_SET.
+        visited = bool(forced[nid]) or not (
+            (fs < 0 or fs == _TOP_ID) and (bs < 0 or bs == _TOP_ID)
+        )
+        out[net] = node_avf(
+            net, kind_l[nid], fub_l[nid], role_l[nid], avf, f_val, b_val, visited
+        )
+    return out

@@ -21,7 +21,18 @@ from collections import deque
 from typing import Iterable, Mapping
 
 from repro.core.graphmodel import AvfModel
-from repro.core.pavf import Atom, TOP_SET, collapse_if_large, union
+from repro.core.pavf import Atom, SetInterner, TOP_SET, collapse_if_large, union
+
+
+def shared_interner(interner: SetInterner | None) -> SetInterner:
+    """Normalize an optional interner argument (None -> fresh table).
+
+    Both directional solvers intern the sets they produce through this
+    helper's result, so passing one :class:`SetInterner` to a forward and a
+    backward solve (as :mod:`repro.core.relaxation` does across all FUBs
+    and iterations) shares every duplicate annotation set between them.
+    """
+    return interner if interner is not None else SetInterner()
 
 
 def solve_forward(
@@ -30,6 +41,7 @@ def solve_forward(
     nets: Iterable[str] | None = None,
     boundary: Mapping[str, frozenset[Atom]] | None = None,
     max_terms: int = 0,
+    interner: SetInterner | None = None,
 ) -> dict[str, frozenset[Atom]]:
     """Forward propagation: f(n) = union of f over fan-in.
 
@@ -45,7 +57,7 @@ def solve_forward(
 
     members = subset if subset is not None else graph.nodes.keys()
     out: dict[str, frozenset[Atom]] = {}
-    interned: dict[frozenset[Atom], frozenset[Atom]] = {}
+    interner = shared_interner(interner)
 
     indegree: dict[str, int] = {}
     dependents: dict[str, list[str]] = {}
@@ -86,7 +98,7 @@ def solve_forward(
                 out[net] = value_for(fanin[0])
             else:
                 merged = collapse_if_large(union(*(value_for(d) for d in fanin)), max_terms)
-                out[net] = interned.setdefault(merged, merged)
+                out[net] = interner.canon(merged)
         for dep in dependents.get(net, ()):
             indegree[dep] -= 1
             if indegree[dep] == 0:
@@ -105,6 +117,7 @@ def solve_backward(
     boundary: Mapping[str, frozenset[Atom]] | None = None,
     max_terms: int = 0,
     dangling: str = "unace",
+    interner: SetInterner | None = None,
 ) -> dict[str, frozenset[Atom]]:
     """Backward propagation: b(n) = union of what each consumer passes up.
 
@@ -127,7 +140,7 @@ def solve_backward(
 
     members = subset if subset is not None else graph.nodes.keys()
     out: dict[str, frozenset[Atom]] = {}
-    interned: dict[frozenset[Atom], frozenset[Atom]] = {}
+    interner = shared_interner(interner)
 
     indegree: dict[str, int] = {}
     dependents: dict[str, list[str]] = {}
@@ -165,7 +178,7 @@ def solve_backward(
             out[net] = pieces[0]
         else:
             merged = collapse_if_large(union(*pieces), max_terms)
-            out[net] = interned.setdefault(merged, merged)
+            out[net] = interner.canon(merged)
         for dep in dependents.get(net, ()):
             indegree[dep] -= 1
             if indegree[dep] == 0:

@@ -118,6 +118,26 @@ class AvfModel:
         self.static_sinks.setdefault(net, []).append(atom)
 
 
+def structure_nets(
+    graph: NetGraph,
+    extra_struct_bits: Mapping[str, tuple[str, int]] | None = None,
+) -> set[str]:
+    """Nets that carry ACE-structure bits (DFF ``struct`` attrs + explicit).
+
+    Structure bits and control registers terminate walks, so cycles
+    passing through them are not propagation loops — callers compute this
+    set before loop classification and pass it as the SCC *cut*.
+    """
+    nets = {
+        net
+        for net, node in graph.nodes.items()
+        if node.kind == NodeKind.SEQ and "struct" in node.attrs
+    }
+    if extra_struct_bits:
+        nets.update(extra_struct_bits)
+    return nets
+
+
 def build_model(
     graph: NetGraph,
     structures: Mapping[str, StructurePorts] | None = None,

@@ -94,14 +94,21 @@ def find_loop_nets(graph: NetGraph, cut: frozenset[str] | set[str] = frozenset()
     registers) that break cycles because walks terminate there.
     """
     loops: set[str] = set()
-    for component in strongly_connected_components(graph, cut):
-        members = set(component) - set(cut)
-        nontrivial = len(members) > 1 or any(
-            net in graph.nodes[net].fanin for net in members if net not in cut
-        )
-        if not nontrivial:
-            continue
-        seq = {net for net in members if graph.nodes[net].kind == NodeKind.SEQ}
+    cut_set = cut if isinstance(cut, (set, frozenset)) else set(cut)
+    nodes = graph.nodes
+    for component in strongly_connected_components(graph, cut_set):
+        if len(component) == 1:
+            # Fast path: almost every SCC is a single node, which is a
+            # loop only via a self edge (and never when cut — cut nodes
+            # have no fan-in, so their self edge is not traversed).
+            net = component[0]
+            if net in cut_set or net not in nodes[net].fanin:
+                continue
+            members = component
+        else:
+            # A multi-node SCC cannot contain cut nodes (no fan-in).
+            members = component
+        seq = {net for net in members if nodes[net].kind == NodeKind.SEQ}
         if not seq:
             raise SartError(
                 "combinational cycle in node graph (validation should have "

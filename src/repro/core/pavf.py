@@ -139,6 +139,54 @@ def capped_sum(values) -> float:
     return total
 
 
+class SetInterner:
+    """Shared table of canonical pAVF sets.
+
+    Propagation produces the same annotation set at many nodes (every net
+    fed by one reconvergent cone carries an identical frozenset). Interning
+    keeps one instance per distinct set — in *both* walk directions and
+    across relaxation iterations — and assigns each a dense integer id the
+    compiled kernels (:mod:`repro.core.compiled`) index with.
+
+    Id 0 is always the empty set and id 1 the TOP singleton.
+    """
+
+    EMPTY_ID = 0
+    TOP_ID = 1
+
+    __slots__ = ("sets", "_ids", "_sorted")
+
+    def __init__(self) -> None:
+        self.sets: list[frozenset[Atom]] = [EMPTY, TOP_SET]
+        self._ids: dict[frozenset[Atom], int] = {EMPTY: 0, TOP_SET: 1}
+        self._sorted: list[tuple[Atom, ...] | None] = [(), (TOP,)]
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def id_of(self, atoms: frozenset[Atom]) -> int:
+        """Intern *atoms* and return its dense id."""
+        sid = self._ids.get(atoms)
+        if sid is None:
+            sid = len(self.sets)
+            self._ids[atoms] = sid
+            self.sets.append(atoms)
+            self._sorted.append(None)
+        return sid
+
+    def canon(self, atoms: frozenset[Atom]) -> frozenset[Atom]:
+        """Return the shared canonical instance equal to *atoms*."""
+        return self.sets[self.id_of(atoms)]
+
+    def sorted_atoms(self, sid: int) -> tuple[Atom, ...]:
+        """Members of set *sid* in stable (kind, name, bit) order."""
+        cached = self._sorted[sid]
+        if cached is None:
+            cached = tuple(sorted(self.sets[sid]))
+            self._sorted[sid] = cached
+        return cached
+
+
 def collapse_if_large(atoms: frozenset[Atom], max_terms: int) -> frozenset[Atom]:
     """Replace oversized sets with TOP (conservative memory guard)."""
     if max_terms > 0 and len(atoms) > max_terms:

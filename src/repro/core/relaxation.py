@@ -16,10 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.dataflow import solve_backward, solve_forward
+from repro.core.dataflow import shared_interner, solve_backward, solve_forward
 from repro.core.graphmodel import AvfModel
 from repro.core.partition import FubPartition, partition_by_fub
-from repro.core.pavf import Atom, PavfEnv, TOP_SET, value_of
+from repro.core.pavf import Atom, PavfEnv, SetInterner, TOP_SET, value_of
 from repro.netlist.graph import NodeKind
 
 
@@ -51,10 +51,14 @@ def relax(
     max_terms: int = 0,
     dangling: str = "unace",
     partition: FubPartition | None = None,
+    interner: SetInterner | None = None,
 ) -> RelaxationResult:
     """Run the partitioned analysis to convergence (or *iterations*)."""
     partition = partition or partition_by_fub(model)
     trace = RelaxationTrace()
+    # One interner across every FUB, iteration and direction: duplicate
+    # annotation sets are shared instead of re-allocated per solve.
+    interner = shared_interner(interner)
 
     f_boundary: dict[str, frozenset[Atom]] = {}
     b_boundary: dict[str, frozenset[Atom]] = {}
@@ -66,12 +70,15 @@ def relax(
         new_b: dict[str, frozenset[Atom]] = {}
         for nets in partition.fubs.values():
             new_f.update(
-                solve_forward(model, nets=nets, boundary=f_boundary, max_terms=max_terms)
+                solve_forward(
+                    model, nets=nets, boundary=f_boundary, max_terms=max_terms,
+                    interner=interner,
+                )
             )
             new_b.update(
                 solve_backward(
                     model, nets=nets, boundary=b_boundary, max_terms=max_terms,
-                    dangling=dangling,
+                    dangling=dangling, interner=interner,
                 )
             )
 

@@ -9,8 +9,7 @@ since both values are obtained conservatively."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, NamedTuple
 
 from repro.core.graphmodel import AvfModel
 from repro.core.pavf import Atom, CTRL, LOOP, PavfEnv, TOP, value_of
@@ -26,9 +25,13 @@ ROLE_INPUT = "input"
 ROLE_MEM = "mem"
 
 
-@dataclass(frozen=True)
-class NodeAvf:
-    """Resolved AVF of one node."""
+class NodeAvf(NamedTuple):
+    """Resolved AVF of one node.
+
+    A NamedTuple rather than a dataclass: the resolution phase builds one
+    per node and frozen-dataclass construction is the dominant cost of
+    that loop on large designs.
+    """
 
     net: str
     kind: str          # NodeKind constant

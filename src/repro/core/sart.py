@@ -21,8 +21,14 @@ from typing import Mapping
 
 from repro.errors import SartError
 from repro.core import controlregs, loops
+from repro.core.compiled import SetEvaluator, SolvePlan, relax_compiled, resolve_ids
 from repro.core.dataflow import solve_backward, solve_forward
-from repro.core.graphmodel import AvfModel, StructurePorts, build_model
+from repro.core.graphmodel import (
+    AvfModel,
+    StructurePorts,
+    build_model,
+    structure_nets,
+)
 from repro.core.pavf import (
     BOUNDARY,
     CONST,
@@ -40,6 +46,7 @@ from repro.core.walker import WalkEngine, fill_unvisited
 from repro.netlist.graph import NetGraph, NodeKind, extract_graph
 from repro.netlist.netlist import Module
 
+ENGINE_COMPILED = "compiled"
 ENGINE_DATAFLOW = "dataflow"
 ENGINE_WALK = "walk"
 
@@ -68,9 +75,13 @@ class SartConfig:
     partition_by_fub: bool = True
     iterations: int = 20
     tol: float = 1e-9
-    # Propagation engine: fast fixpoint or faithful walks.
-    engine: str = ENGINE_DATAFLOW
+    # Propagation engine: compiled CSR kernels (default), the dict-based
+    # fixpoint it replaced, or faithful walks.
+    engine: str = ENGINE_COMPILED
     walker_rounds: int = 100
+    # Worker processes for compiled partitioned relaxation (1 = in-process;
+    # results are identical at any count).
+    workers: int = 1
     # 0 keeps exact symbolic sets (closed-form capable); >0 collapses
     # oversized sets to TOP as a memory guard.
     max_terms: int = 0
@@ -133,49 +144,111 @@ def build_env(model: AvfModel, config: SartConfig) -> PavfEnv:
     return env
 
 
+def build_plan(
+    design: Module | NetGraph,
+    structures: Mapping[str, StructurePorts] | None = None,
+    config: SartConfig | None = None,
+    *,
+    extra_struct_bits: Mapping[str, tuple[str, int]] | None = None,
+) -> SolvePlan:
+    """Lower *design* once for many compiled SART runs.
+
+    The plan captures everything structural — graph extraction, loop
+    breaking, control-register detection, FUB partitioning, topological
+    order — so ``run_sart(..., plan=plan)`` with varying *environment*
+    knobs (loop/ctrl/const/boundary pAVFs, iterations, max_terms) skips
+    straight to propagation. Structures are captured at build time.
+    """
+    config = config or SartConfig()
+    return SolvePlan.build(
+        design,
+        structures,
+        detect_ctrl=config.detect_ctrl,
+        ctrl_patterns=config.ctrl_patterns,
+        port_traffic_on_addresses=config.port_traffic_on_addresses,
+        extra_struct_bits=extra_struct_bits,
+    )
+
+
 def run_sart(
     design: Module | NetGraph,
     structures: Mapping[str, StructurePorts] | None = None,
     config: SartConfig | None = None,
     *,
     extra_struct_bits: Mapping[str, tuple[str, int]] | None = None,
+    plan: SolvePlan | None = None,
 ) -> SartResult:
-    """Run the full SART flow and return per-node sequential AVFs."""
+    """Run the full SART flow and return per-node sequential AVFs.
+
+    With ``engine="compiled"`` a reusable :class:`SolvePlan` drives the
+    propagation; pass one built by :func:`build_plan` to amortize the
+    lowering across many runs (*design*/*structures* are then taken from
+    the plan).
+    """
     config = config or SartConfig()
     started = time.perf_counter()
 
-    graph = design if isinstance(design, NetGraph) else extract_graph(design)
+    plan_reused = plan is not None
+    if config.engine == ENGINE_COMPILED:
+        if plan is None:
+            plan = build_plan(
+                design, structures, config, extra_struct_bits=extra_struct_bits
+            )
+        else:
+            plan.check_config(config)
+        graph = plan.graph
+        model = plan.model
+    else:
+        if plan is not None:
+            raise SartError(
+                f"engine {config.engine!r} does not use a SolvePlan; "
+                "use engine='compiled' or drop the plan argument"
+            )
+        graph = design if isinstance(design, NetGraph) else extract_graph(design)
 
-    # Structure bits and control registers terminate walks, so cycles
-    # passing through them are not propagation loops — identify them
-    # before loop classification.
-    struct_nets = {
-        net
-        for net, node in graph.nodes.items()
-        if node.kind == NodeKind.SEQ and "struct" in node.attrs
-    }
-    if extra_struct_bits:
-        struct_nets.update(extra_struct_bits)
-    ctrl_nets = (
-        controlregs.find_control_registers(graph, patterns=config.ctrl_patterns)
-        if config.detect_ctrl
-        else set()
-    )
-    loop_nets = loops.find_loop_nets(graph, cut=struct_nets | ctrl_nets)
+        # Structure bits and control registers terminate walks, so cycles
+        # passing through them are not propagation loops — identify them
+        # before loop classification.
+        struct_nets = structure_nets(graph, extra_struct_bits)
+        ctrl_nets = (
+            controlregs.find_control_registers(graph, patterns=config.ctrl_patterns)
+            if config.detect_ctrl
+            else set()
+        )
+        loop_nets = loops.find_loop_nets(graph, cut=struct_nets | ctrl_nets)
 
-    model = build_model(
-        graph,
-        structures,
-        loop_nets=loop_nets,
-        ctrl_nets=ctrl_nets,
-        port_traffic_on_addresses=config.port_traffic_on_addresses,
-        extra_struct_bits=extra_struct_bits,
-    )
+        model = build_model(
+            graph,
+            structures,
+            loop_nets=loop_nets,
+            ctrl_nets=ctrl_nets,
+            port_traffic_on_addresses=config.port_traffic_on_addresses,
+            extra_struct_bits=extra_struct_bits,
+        )
     env = build_env(model, config)
 
     trace: RelaxationTrace | None = None
     walker_rounds_used = 0
-    if config.engine == ENGINE_WALK:
+    node_avfs: dict[str, NodeAvf] | None = None
+    if config.engine == ENGINE_COMPILED:
+        evaluator = SetEvaluator(plan.interner, env)
+        if config.partition_by_fub and plan.n_fubs > 1:
+            f_ids, b_ids, trace = relax_compiled(
+                plan,
+                env,
+                evaluator=evaluator,
+                iterations=config.iterations,
+                tol=config.tol,
+                max_terms=config.max_terms,
+                dangling=config.dangling,
+                workers=config.workers,
+            )
+        else:
+            f_ids, b_ids = plan.solve_monolithic(config.max_terms, config.dangling)
+        node_avfs = resolve_ids(plan, f_ids, b_ids, env, evaluator=evaluator)
+        f_sets = plan.sets_dict(f_ids)
+        b_sets = plan.sets_dict(b_ids)
+    elif config.engine == ENGINE_WALK:
         engine = WalkEngine(model, env, max_rounds=config.walker_rounds)
         f_sets = fill_unvisited(engine.run_forward(), graph.nodes)
         b_sets = fill_unvisited(engine.run_backward(), graph.nodes)
@@ -199,7 +272,8 @@ def run_sart(
     else:
         raise SartError(f"unknown engine {config.engine!r}")
 
-    node_avfs = resolve(model, f_sets, b_sets, env)
+    if node_avfs is None:
+        node_avfs = resolve(model, f_sets, b_sets, env)
     report = fub_report(
         node_avfs, loop_bits=len(model.loop_nets), ctrl_bits=len(model.ctrl_nets)
     )
@@ -211,6 +285,7 @@ def run_sart(
         "ctrl_bits": float(len(model.ctrl_nets)),
         "structure_bits": float(len(model.struct_nodes)),
         "visited_fraction": report.visited_fraction,
+        "plan_reused": 1.0 if plan_reused else 0.0,
     }
     return SartResult(
         node_avfs=node_avfs,

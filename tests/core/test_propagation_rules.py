@@ -114,7 +114,7 @@ class TestDistributionSplit:
 class TestFigure7:
     """The full worked example, including the idempotent-union step."""
 
-    @pytest.fixture(params=["dataflow", "walk"])
+    @pytest.fixture(params=["dataflow", "walk", "compiled"])
     def result(self, request):
         module, nets, structs = make_fig7()[0], make_fig7()[1], dict(FIG7_STRUCTS)
         cfg = SartConfig(engine=request.param, partition_by_fub=False)
@@ -153,5 +153,8 @@ def test_engines_agree_on_fig7():
     a = run_sart(module, dict(FIG7_STRUCTS), SartConfig(engine="dataflow", partition_by_fub=False))
     module2, nets2 = make_fig7()
     b = run_sart(module2, dict(FIG7_STRUCTS), SartConfig(engine="walk", partition_by_fub=False))
+    module3, nets3 = make_fig7()
+    c = run_sart(module3, dict(FIG7_STRUCTS), SartConfig(engine="compiled", partition_by_fub=False))
     for key, net in nets.items():
         assert a.avf(net) == pytest.approx(b.avf(nets2[key])), key
+        assert a.avf(net) == pytest.approx(c.avf(nets3[key])), key

@@ -52,6 +52,57 @@ def _load_ports(path: str) -> dict[str, StructurePorts]:
     return ports
 
 
+def _runtime_from_args(args):
+    """Build campaign RuntimeOptions from the sfi/beam robustness flags."""
+    from repro.sfi.runtime import RuntimeOptions
+
+    # --resume implies checkpointing to the same file, so a run that is
+    # interrupted *again* keeps extending the same checkpoint.
+    checkpoint = getattr(args, "checkpoint", None) or getattr(args, "resume", None)
+    return RuntimeOptions(
+        max_retries=getattr(args, "max_retries", 3),
+        pass_timeout=getattr(args, "pass_timeout", None),
+        checkpoint=checkpoint,
+        resume=getattr(args, "resume", None),
+        max_pool_restarts=getattr(args, "max_pool_restarts", 3),
+    )
+
+
+def _interrupted(args) -> int:
+    """Uniform SIGINT exit for campaign subcommands (checkpoint-aware)."""
+    path = getattr(args, "checkpoint", None) or getattr(args, "resume", None)
+    if path:
+        print(
+            f"\ninterrupted — completed passes are saved; rerun with "
+            f"--resume {path} to continue",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "\ninterrupted — no --checkpoint was given, so progress was "
+            "not saved",
+            file=sys.stderr,
+        )
+    return 130  # 128 + SIGINT, the conventional shell exit code
+
+
+def _print_runtime_summary(failures, pool_restarts, degraded, resumed) -> None:
+    if resumed:
+        print(f"  resumed: {resumed} pass(es) loaded from checkpoint")
+    if pool_restarts or degraded:
+        note = f"  runtime: worker pool respawned {pool_restarts} time(s)"
+        if degraded:
+            note += "; degraded to serial execution"
+        print(note)
+    if failures:
+        print(f"  WARNING: {len(failures)} pass(es) failed permanently:")
+        for f in failures[:5]:
+            print(f"    pass {f.index}: {f.kind} after {f.attempts} "
+                  f"attempt(s): {f.error}")
+        if len(failures) > 5:
+            print(f"    ... and {len(failures) - 5} more")
+
+
 def _config_from_args(args) -> SartConfig:
     return SartConfig(
         loop_pavf=args.loop_pavf,
@@ -111,15 +162,21 @@ def cmd_tinycore(args) -> int:
 
         seqs = extract_graph(netlist.module).seq_nets()
         plans = plan_campaign(seqs, golden.cycles - 2, args.sfi, seed=1)
-        campaign = run_sfi_campaign(
-            words, dmem, plans, netlist=netlist, backend=args.backend,
-            workers=args.workers, lanes_per_pass=args.lanes_per_pass,
-        )
+        try:
+            campaign = run_sfi_campaign(
+                words, dmem, plans, netlist=netlist, backend=args.backend,
+                workers=args.workers, lanes_per_pass=args.lanes_per_pass,
+                runtime=_runtime_from_args(args),
+            )
+        except KeyboardInterrupt:
+            return _interrupted(args)
         avf, (lo, hi) = overall_avf(campaign.outcomes)
         print(
             f"SFI ({args.sfi} injections): AVF={avf:.3f} [{lo:.3f},{hi:.3f}] "
             f"counts={campaign.counts()} in {campaign.elapsed_seconds:.1f}s"
         )
+        _print_runtime_summary(campaign.failures, campaign.pool_restarts,
+                               campaign.degraded, campaign.resumed_passes)
     return 0
 
 
@@ -145,10 +202,14 @@ def cmd_sfi(args) -> int:
         seqs, golden.cycles - 2, args.injections, seed=args.seed,
         per_node=args.per_node,
     )
-    campaign = run_sfi_campaign(
-        words, dmem, plans, netlist=netlist, backend=args.backend,
-        workers=args.workers, lanes_per_pass=args.lanes_per_pass,
-    )
+    try:
+        campaign = run_sfi_campaign(
+            words, dmem, plans, netlist=netlist, backend=args.backend,
+            workers=args.workers, lanes_per_pass=args.lanes_per_pass,
+            runtime=_runtime_from_args(args),
+        )
+    except KeyboardInterrupt:
+        return _interrupted(args)
     avf, (lo, hi) = overall_avf(campaign.outcomes)
     due = campaign.due_avf()
     print(
@@ -161,6 +222,8 @@ def cmd_sfi(args) -> int:
         f"  {campaign.simulated_cycles} simulated cycles "
         f"in {campaign.elapsed_seconds:.2f}s"
     )
+    _print_runtime_summary(campaign.failures, campaign.pool_restarts,
+                           campaign.degraded, campaign.resumed_passes)
     return 0
 
 
@@ -173,9 +236,13 @@ def cmd_beam(args) -> int:
         lanes_per_pass=args.lanes_per_pass, include_arrays=args.include_arrays,
         parity=args.parity,
     )
-    result = run_beam_test(
-        words, dmem, config, backend=args.backend, workers=args.workers,
-    )
+    try:
+        result = run_beam_test(
+            words, dmem, config, backend=args.backend, workers=args.workers,
+            runtime=_runtime_from_args(args),
+        )
+    except KeyboardInterrupt:
+        return _interrupted(args)
     lo, hi = result.rate_interval()
     print(
         f"{args.program}: {result.exposures} exposures x "
@@ -190,6 +257,8 @@ def cmd_beam(args) -> int:
         f"  SDC rate {result.sdc_rate_per_cycle:.3e}/cycle "
         f"[{lo:.3e},{hi:.3e}] in {result.elapsed_seconds:.2f}s"
     )
+    _print_runtime_summary(result.failures, result.pool_restarts,
+                           result.degraded, result.resumed_passes)
     return 0
 
 
@@ -322,6 +391,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--lanes-per-pass", type=int, default=None, metavar="L",
                        help="fault lanes per simulator pass "
                             "(default: the backend's preferred width)")
+        p.add_argument("--checkpoint", metavar="PATH",
+                       help="append each completed pass to a JSONL checkpoint "
+                            "so an interrupted campaign can be resumed")
+        p.add_argument("--resume", metavar="PATH",
+                       help="resume from a checkpoint, skipping already-"
+                            "computed passes (implies --checkpoint PATH); "
+                            "results are bit-identical to an uninterrupted run")
+        p.add_argument("--max-retries", type=int, default=3, metavar="N",
+                       help="total attempts per pass before it is recorded "
+                            "as a structured failure (default 3)")
+        p.add_argument("--pass-timeout", type=float, default=None, metavar="SEC",
+                       help="soft per-pass timeout: stragglers are recorded "
+                            "as timeout failures instead of hanging the "
+                            "campaign (needs --workers >= 2)")
+        p.add_argument("--max-pool-restarts", type=int, default=3, metavar="N",
+                       help="worker-pool respawns after crashes before "
+                            "degrading to serial execution (default 3)")
 
     def common(p):
         p.add_argument("--loop-pavf", type=float, default=0.3,

@@ -817,9 +817,17 @@ def relax_compiled(
       reproduce its previous sets verbatim), and
     * with ``workers > 1`` the independent per-iteration FUB solves run
       on a process pool, folded back in deterministic submission order.
+
+    The pool runs on the fault-tolerant campaign runtime
+    (:class:`repro.sfi.runtime.ResilientPool`): a dead worker respawns
+    the pool and replays only the in-flight FUB solves (each task ships
+    its full boundary imports, so a respawned worker needs no history),
+    and repeated breakage degrades to serial in-process execution with a
+    warning instead of aborting the relaxation. Either way the results
+    are bit-identical — every solve is a pure function of (plan, task).
     """
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
+    from repro.errors import CampaignError
+    from repro.sfi.runtime import ResilientPool
 
     ev = evaluator or SetEvaluator(plan.interner, env)
     n, n_fubs = plan.n, plan.n_fubs
@@ -831,17 +839,15 @@ def relax_compiled(
     trace = RelaxationTrace()
     dirty: list[int] = list(range(n_fubs))
     workers = max(1, int(workers or 1))
-    pool = None
+    pool: ResilientPool | None = None
     try:
         if workers > 1 and n_fubs > 1:
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=min(workers, n_fubs),
-                    initializer=_pool_init,
-                    initargs=(plan,),
-                )
-            except (OSError, ValueError) as exc:  # pragma: no cover
-                raise SartError(f"could not start relaxation workers: {exc}") from exc
+            pool = ResilientPool(
+                _pool_init, plan,
+                workers=min(workers, n_fubs),
+                max_pool_restarts=2,
+                label="relaxation",
+            )
 
         # Per-FUB import lists: the boundary entries each FUB's kernels read.
         f_imp_by_fub: list[list[int]] = [[] for _ in range(n_fubs)]
@@ -854,7 +860,9 @@ def relax_compiled(
                 b_imp_by_fub[f].append(nid)
 
         for iteration in range(iterations):
-            if pool is not None and len(dirty) > 1:
+            # Once the pool has degraded, the inline kernels are the
+            # faster serial path (no boundary shipping / interning).
+            if pool is not None and not pool.degraded and len(dirty) > 1:
                 sets = interner.sets
                 tasks = [
                     (
@@ -866,12 +874,18 @@ def relax_compiled(
                     )
                     for f in dirty
                 ]
+                results: list = [None] * len(tasks)
+
+                def _collect(index: int, solved, _results=results) -> None:
+                    _results[index] = solved
+
                 try:
-                    results = list(pool.map(_pool_solve_fub, tasks))
-                except BrokenProcessPool as exc:  # pragma: no cover
-                    raise SartError(
-                        "a relaxation worker process died unexpectedly"
-                    ) from exc
+                    pool.run(
+                        _pool_solve_fub, tasks,
+                        max_retries=2, on_result=_collect, on_error="raise",
+                    )
+                except CampaignError as exc:
+                    raise SartError(f"relaxation solve failed: {exc}") from exc
                 intern = interner.id_of
                 for fub_idx, f_items, b_items in results:
                     for nid, atoms in f_items:
@@ -922,7 +936,7 @@ def relax_compiled(
             dirty = sorted(next_dirty)
     finally:
         if pool is not None:
-            pool.shutdown()
+            pool.close()
     return f_out, b_out, trace
 
 

@@ -9,6 +9,13 @@ internal logic: "smallest conservative value is used".
 The iteration trace records, per FUB and iteration, the average resolved
 pAVF of its sequential nodes — the quantity the paper plotted to declare
 20 iterations sufficient for convergence.
+
+This module is the serial reference implementation. The compiled engine
+(:func:`repro.core.compiled.relax_compiled`) runs the same iteration on
+index-based kernels and can fan per-FUB solves across worker processes
+via the fault-tolerant runtime (:mod:`repro.sfi.runtime`): worker loss
+respawns the pool and repeated breakage falls back to this module's
+serial semantics rather than aborting — bit-identical either way.
 """
 
 from __future__ import annotations

@@ -59,4 +59,25 @@ class ConvergenceError(SartError):
 
 
 class CampaignError(ReproError):
-    """Fault-injection campaign misconfiguration."""
+    """Fault-injection campaign misconfiguration or unrecoverable failure."""
+
+
+class CheckpointError(CampaignError):
+    """A campaign checkpoint file could not be used.
+
+    Raised when the file named by ``resume=`` is missing, unreadable, or
+    corrupt beyond its final (possibly torn) record, when its versioned
+    header does not match the runtime's checkpoint format version, when
+    its fingerprint belongs to a different campaign configuration, or
+    when a fresh campaign would overwrite an existing checkpoint.
+    """
+
+
+class PassTimeoutError(CampaignError):
+    """A campaign pass exceeded its soft timeout budget.
+
+    The fault-tolerant runtime normally records stragglers as structured
+    ``timeout`` failures and keeps going; this is raised only by callers
+    that demand every pass result (e.g. :func:`repro.sfi.parallel
+    .parallel_map`'s all-or-nothing contract).
+    """

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from graphlib import CycleError, TopologicalSorter
 
-from repro.errors import ValidationError
+from repro.errors import NetlistError, ValidationError
 from repro.netlist.cells import CELLS
 from repro.netlist.netlist import INPUT, Module
 
@@ -47,7 +47,7 @@ def validate_module(module: Module, require_flat: bool = True) -> dict[str, int]
 
     try:
         drivers = module.drivers()
-    except Exception as exc:  # multiply driven
+    except NetlistError as exc:  # multiply driven; programming errors propagate
         raise ValidationError(str(exc)) from exc
 
     primary_inputs = set(module.input_ports())

@@ -31,7 +31,8 @@ from repro.errors import CampaignError
 from repro.netlist.graph import extract_graph
 from repro.rtlsim.backends import DEFAULT_BACKEND, BaseSimulator, make_simulator
 from repro.sfi.campaign import resolve_lanes_per_pass
-from repro.sfi.parallel import parallel_map
+from repro.sfi.results import PassFailure
+from repro.sfi.runtime import RuntimeOptions, campaign_fingerprint, run_passes
 
 
 @dataclass
@@ -68,6 +69,13 @@ class BeamResult:
     storage_bits: int = 0
     flux: float = 0.0
     elapsed_seconds: float = 0.0
+    # Fault-tolerant runtime bookkeeping: passes that failed permanently
+    # (their devices are excluded from `exposures`), pool respawns, and
+    # whether execution degraded to serial / resumed from a checkpoint.
+    failures: list[PassFailure] = field(default_factory=list)
+    pool_restarts: int = 0
+    degraded: bool = False
+    resumed_passes: int = 0
 
     @property
     def sdc_rate_per_cycle(self) -> float:
@@ -218,12 +226,17 @@ def run_beam_test(
     netlist: TinycoreNetlist | None = None,
     backend: str = DEFAULT_BACKEND,
     workers: int = 1,
+    runtime: RuntimeOptions | None = None,
 ) -> BeamResult:
     """Expose the core to the simulated beam and measure the SDC rate.
 
     *backend* selects the simulation backend and *workers* > 1 fans the
     independent passes out across processes; for a fixed seed the counts
-    are identical at any worker count.
+    are identical at any worker count. *runtime* enables the
+    fault-tolerant execution layer — checkpoint/resume, bounded retry,
+    pool respawn with serial degradation, soft pass timeouts (see
+    docs/ROBUSTNESS.md); a resumed measurement is bit-identical to an
+    uninterrupted one.
     """
     config = config or BeamConfig()
     if config.flux <= 0:
@@ -273,12 +286,29 @@ def run_beam_test(
         max_cycles=config.max_cycles,
         count_architectural_state=config.count_architectural_state,
     )
-    for sdc, due, devices in parallel_map(
-        _run_beam_pass, _init_beam_worker, payload, groups, workers
-    ):
+    fingerprint = campaign_fingerprint(
+        "beam", payload.program, payload.dmem_init, backend, config.flux,
+        config.exposures, config.seed, config.max_cycles,
+        config.include_arrays, config.include_irom,
+        config.count_architectural_state, config.parity,
+        [len(g) for g in groups],
+    )
+    report = run_passes(
+        _run_beam_pass, _init_beam_worker, payload, groups,
+        workers=workers, options=runtime, fingerprint=fingerprint,
+        decode=tuple,  # JSON round-trips the (sdc, due, devices) tuple as a list
+    )
+    for pass_result in report.results:
+        if pass_result is None:
+            continue  # recorded in result.failures
+        sdc, due, devices = pass_result
         result.sdc_events += sdc
         result.due_events += due
         result.exposures += devices
+    result.failures = report.failures
+    result.pool_restarts = report.pool_restarts
+    result.degraded = report.degraded
+    result.resumed_passes = report.resumed
 
     result.elapsed_seconds = time.perf_counter() - started
     return result

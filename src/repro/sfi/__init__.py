@@ -19,16 +19,27 @@ what makes node-resolution SFI feasible in pure Python. Classification:
 
 from repro.sfi.campaign import FaultPlan, InjectionOutcome, plan_campaign
 from repro.sfi.injector import CampaignResult, run_sfi_campaign
-from repro.sfi.results import NodeAvfEstimate, aggregate_by_node, overall_avf, wilson_interval
+from repro.sfi.results import (
+    NodeAvfEstimate,
+    PassFailure,
+    aggregate_by_node,
+    overall_avf,
+    wilson_interval,
+)
+from repro.sfi.runtime import RunReport, RuntimeOptions, run_passes
 
 __all__ = [
     "CampaignResult",
     "FaultPlan",
     "InjectionOutcome",
     "NodeAvfEstimate",
+    "PassFailure",
+    "RunReport",
+    "RuntimeOptions",
     "aggregate_by_node",
     "overall_avf",
     "plan_campaign",
+    "run_passes",
     "run_sfi_campaign",
     "wilson_interval",
 ]

@@ -30,12 +30,20 @@ from repro.sfi.campaign import (
     InjectionOutcome,
     batches,
 )
-from repro.sfi.parallel import parallel_map
+from repro.sfi.results import PassFailure
+from repro.sfi.runtime import RuntimeOptions, campaign_fingerprint, run_passes
 
 
 @dataclass
 class CampaignResult:
-    """All outcomes of one SFI campaign plus bookkeeping."""
+    """All outcomes of one SFI campaign plus bookkeeping.
+
+    ``failures`` holds structured records for passes that failed
+    permanently (crash after the retry budget, or soft timeout); their
+    planned injections are simply absent from ``outcomes``. ``resumed
+    _passes``/``pool_restarts``/``degraded`` report what the
+    fault-tolerant runtime had to do to finish the campaign.
+    """
 
     outcomes: list[InjectionOutcome] = field(default_factory=list)
     passes: int = 0
@@ -43,6 +51,10 @@ class CampaignResult:
     elapsed_seconds: float = 0.0
     backend: str = DEFAULT_BACKEND
     workers: int = 1
+    failures: list[PassFailure] = field(default_factory=list)
+    pool_restarts: int = 0
+    degraded: bool = False
+    resumed_passes: int = 0
 
     def counts(self) -> dict[str, int]:
         out = {MASKED: 0, SDC: 0, UNKNOWN: 0, DUE: 0}
@@ -120,6 +132,23 @@ def _run_sfi_batch(batch: Sequence[FaultPlan]) -> tuple[list[InjectionOutcome], 
     return _classify_batch(run, batch), run.cycles
 
 
+def _encode_sfi_pass(result: tuple[list[InjectionOutcome], int]) -> list:
+    """One pass result -> JSON-able checkpoint payload."""
+    outcomes, cycles = result
+    return [cycles, [[o.plan.net, o.plan.cycle, o.outcome] for o in outcomes]]
+
+
+def _decode_sfi_pass(payload: list) -> tuple[list[InjectionOutcome], int]:
+    cycles, rows = payload
+    return (
+        [
+            InjectionOutcome(plan=FaultPlan(net=net, cycle=cycle), outcome=outcome)
+            for net, cycle, outcome in rows
+        ],
+        cycles,
+    )
+
+
 def run_sfi_campaign(
     program: list[int],
     dmem_init: list[int] | None,
@@ -130,6 +159,7 @@ def run_sfi_campaign(
     netlist: TinycoreNetlist | None = None,
     backend: str = DEFAULT_BACKEND,
     workers: int = 1,
+    runtime: RuntimeOptions | None = None,
 ) -> CampaignResult:
     """Execute every planned injection and classify the outcomes.
 
@@ -138,6 +168,13 @@ def run_sfi_campaign(
     processes; outcomes are identical to the serial run for a fixed plan
     list because every pass is independent and results are reassembled in
     plan order.
+
+    *runtime* configures the fault-tolerant execution layer: durable
+    checkpointing with resume, bounded per-pass retry, pool respawn with
+    serial degradation, and soft pass timeouts (docs/ROBUSTNESS.md). A
+    resumed campaign reproduces the uninterrupted campaign's outcomes
+    bit for bit, because the checkpoint keys on a fingerprint of the
+    program, plan list, batching, and backend.
     """
     started = time.perf_counter()
     if netlist is None:
@@ -155,13 +192,27 @@ def run_sfi_campaign(
         backend=backend,
         max_cycles=max_cycles,
     )
+    fingerprint = campaign_fingerprint(
+        "sfi", payload.program, payload.dmem_init, max_cycles, backend,
+        [(p.net, p.cycle) for p in plans], [len(b) for b in plan_batches],
+    )
+    report = run_passes(
+        _run_sfi_batch, _init_sfi_worker, payload, plan_batches,
+        workers=workers, options=runtime, fingerprint=fingerprint,
+        encode=_encode_sfi_pass, decode=_decode_sfi_pass,
+    )
     result = CampaignResult(backend=backend, workers=max(1, workers))
-    for outcomes, cycles in parallel_map(
-        _run_sfi_batch, _init_sfi_worker, payload, plan_batches, workers
-    ):
+    for pass_result in report.results:
+        if pass_result is None:
+            continue  # recorded in result.failures
+        outcomes, cycles = pass_result
         result.passes += 1
         result.simulated_cycles += cycles
         result.outcomes.extend(outcomes)
+    result.failures = report.failures
+    result.pool_restarts = report.pool_restarts
+    result.degraded = report.degraded
+    result.resumed_passes = report.resumed
     result.elapsed_seconds = time.perf_counter() - started
     return result
 

@@ -6,33 +6,39 @@ own simulator once (via an initializer) and then streams pass results
 back. Results are reassembled in submission order, so outcomes are
 deterministic for a fixed seed regardless of worker count — the pool
 only changes *when* a pass runs, never *what* it computes.
+
+Execution is delegated to the fault-tolerant runtime in
+:mod:`repro.sfi.runtime`: a dead worker respawns the pool and requeues
+only the in-flight passes, a raising pass is retried up to a bounded
+attempt budget, and repeated pool breakage degrades to serial in-process
+execution instead of aborting. :func:`parallel_map` keeps the original
+all-or-nothing contract (every result, or an exception); campaigns that
+want checkpoint/resume and structured per-pass failure records call
+:func:`repro.sfi.runtime.run_passes` directly.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, TypeVar
 
 from repro.errors import CampaignError
+from repro.sfi.runtime import RuntimeOptions, resolve_workers, run_passes
+
+__all__ = ["parallel_map", "resolve_workers"]
 
 _ITEM = TypeVar("_ITEM")
 _RESULT = TypeVar("_RESULT")
 
 
-def resolve_workers(workers: int | None) -> int:
-    """Normalize a worker-count request (None/0/negative -> serial)."""
-    if workers is None or workers < 1:
-        return 1
-    return workers
-
-
 def parallel_map(
     worker: Callable[[_ITEM], _RESULT],
-    initializer: Callable[[object], None],
+    initializer: Callable[[Any], None],
     payload: object,
     items: Iterable[_ITEM],
     workers: int | None = 1,
+    *,
+    max_retries: int = 3,
+    max_pool_restarts: int = 3,
 ) -> list[_RESULT]:
     """Map *worker* over *items*, optionally across processes.
 
@@ -40,18 +46,24 @@ def parallel_map(
     process for the serial path) to build per-process state — typically a
     compiled simulator. *worker* and *initializer* must be module-level
     functions (picklable). The result list preserves item order.
+
+    Worker crashes and raising passes are retried transparently; only a
+    pass that fails all *max_retries* attempts (after the pool has been
+    respawned up to *max_pool_restarts* times and execution has fallen
+    back to serial) raises :class:`CampaignError`.
     """
-    work: Sequence[_ITEM] = list(items)
-    workers = resolve_workers(workers)
-    if workers <= 1 or len(work) <= 1:
-        initializer(payload)
-        return [worker(item) for item in work]
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(work)),
-            initializer=initializer,
-            initargs=(payload,),
-        ) as pool:
-            return list(pool.map(worker, work))
-    except BrokenProcessPool as exc:  # pragma: no cover - environment failure
-        raise CampaignError("a campaign worker process died unexpectedly") from exc
+    report = run_passes(
+        worker, initializer, payload, items,
+        workers=workers,
+        options=RuntimeOptions(
+            max_retries=max_retries, max_pool_restarts=max_pool_restarts
+        ),
+    )
+    if report.failures:
+        first = report.failures[0]
+        raise CampaignError(
+            f"{len(report.failures)} campaign pass(es) failed permanently; "
+            f"first: pass {first.index} after {first.attempts} attempt(s): "
+            f"{first.error}"
+        )
+    return report.results

@@ -8,6 +8,29 @@ from typing import Iterable
 
 from repro.sfi.campaign import InjectionOutcome
 
+# Failure kinds recorded by the fault-tolerant campaign runtime.
+CRASH = "crash"      # the pass raised / its worker process died
+TIMEOUT = "timeout"  # the pass outlived its soft timeout budget
+
+
+@dataclass(frozen=True)
+class PassFailure:
+    """Structured record of one campaign pass that failed permanently.
+
+    A campaign no longer aborts on a bad pass: after the retry budget is
+    exhausted (or the soft timeout expires) the runtime records one of
+    these and the remaining passes keep running. ``index`` is the pass's
+    position in the campaign's batch list, ``kind`` is :data:`CRASH` or
+    :data:`TIMEOUT`, and ``attempts`` counts how many executions were
+    tried before giving up (always 1 for timeouts — a straggler is not
+    retried, since it would likely just hang again).
+    """
+
+    index: int
+    kind: str
+    error: str
+    attempts: int
+
 
 @dataclass(frozen=True)
 class NodeAvfEstimate:

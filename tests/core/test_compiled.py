@@ -151,6 +151,33 @@ class TestRelaxation:
         )
         assert base.node_avfs == multi.node_avfs
 
+    def test_pool_start_failure_degrades_to_serial(self, monkeypatch):
+        # The relaxation pool rides the fault-tolerant campaign runtime:
+        # an unspawnable pool warns and falls back to the serial kernels
+        # instead of raising, with bit-identical results.
+        import warnings
+
+        import repro.sfi.runtime as runtime
+
+        module = _pipeline()
+        base = run_sart(module, STRUCTS, SartConfig(engine="compiled", workers=1))
+
+        class Unspawnable:
+            def __init__(self, *args, **kwargs):
+                raise OSError("fork refused")
+
+        monkeypatch.setattr(runtime, "ProcessPoolExecutor", Unspawnable)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = run_sart(
+                module, STRUCTS, SartConfig(engine="compiled", workers=3)
+            )
+        assert any(
+            isinstance(w.message, runtime.DegradedExecutionWarning) for w in caught
+        )
+        assert base.node_avfs == degraded.node_avfs
+        assert base.trace.max_delta == degraded.trace.max_delta
+
 
 class TestSolvePlan:
     def test_plan_reuse_matches_fresh_runs(self, tinycore_module):

@@ -1,0 +1,94 @@
+"""Deterministic chaos harness for the fault-tolerant campaign runtime.
+
+Provides a picklable worker whose misbehaviour — crashing its process,
+raising, or hanging — is scripted per item and per attempt, so every
+recovery path of :mod:`repro.sfi.runtime` (pool respawn, bounded retry,
+serial degradation, soft timeouts) is exercised on schedule in CI
+rather than left to flaky environmental accidents.
+
+Attempt counting crosses process boundaries through counter files in a
+scratch directory (each invocation of an item bumps ``item_<i>``), so
+"crash the first two attempts, then succeed" works even though each
+attempt may run in a freshly respawned worker process.
+
+When the runtime has degraded to *serial in-process* execution a real
+``os._exit`` would kill the test process itself, so a scheduled crash
+running in the main process raises :class:`ChaosCrash` instead — the
+same behaviour an exploding pass exhibits once the pool is gone.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+
+class ChaosCrash(RuntimeError):
+    """Stand-in for a hard worker crash when running in-process."""
+
+
+@dataclass
+class ChaosPlan:
+    """Scripted misbehaviour for :func:`chaos_worker`.
+
+    Each mapping is ``item -> number of leading attempts affected``
+    (e.g. ``crash={3: 2}`` makes item 3 kill its worker process on its
+    first two attempts and succeed from the third). ``hang`` items sleep
+    ``hang_seconds`` instead of crashing; keep that short — an abandoned
+    straggler runs until the runtime terminates its worker.
+    """
+
+    scratch: str
+    main_pid: int = field(default_factory=os.getpid)
+    crash: dict[int, int] = field(default_factory=dict)
+    raises: dict[int, int] = field(default_factory=dict)
+    hang: dict[int, int] = field(default_factory=dict)
+    hang_seconds: float = 5.0
+
+
+_PLAN: ChaosPlan | None = None
+
+
+def chaos_init(plan: ChaosPlan) -> None:
+    global _PLAN
+    _PLAN = plan
+
+
+def _bump_attempt(plan: ChaosPlan, item: int) -> int:
+    """Increment and return this item's cross-process attempt counter."""
+    path = os.path.join(plan.scratch, f"item_{item}")
+    try:
+        with open(path) as handle:
+            attempt = int(handle.read() or 0) + 1
+    except FileNotFoundError:
+        attempt = 1
+    with open(path, "w") as handle:
+        handle.write(str(attempt))
+    return attempt
+
+
+def attempts_of(plan: ChaosPlan, item: int) -> int:
+    """How many times *item* actually started executing."""
+    path = os.path.join(plan.scratch, f"item_{item}")
+    try:
+        with open(path) as handle:
+            return int(handle.read() or 0)
+    except FileNotFoundError:
+        return 0
+
+
+def chaos_worker(item: int) -> int:
+    """Deterministic pass body: misbehave on schedule, else return item*item."""
+    plan = _PLAN
+    assert plan is not None, "chaos worker used before initialization"
+    attempt = _bump_attempt(plan, item)
+    if attempt <= plan.crash.get(item, 0):
+        if os.getpid() != plan.main_pid:
+            os._exit(13)  # hard kill: surfaces as BrokenProcessPool
+        raise ChaosCrash(f"item {item} crashed (in-process attempt {attempt})")
+    if attempt <= plan.raises.get(item, 0):
+        raise ValueError(f"item {item} raised on attempt {attempt}")
+    if attempt <= plan.hang.get(item, 0):
+        time.sleep(plan.hang_seconds)
+    return item * item

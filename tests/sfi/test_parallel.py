@@ -107,3 +107,10 @@ class TestParallelMap:
         assert resolve_workers(0) == 1
         assert resolve_workers(None) == 1
         assert resolve_workers(-3) == 1
+
+    def test_resolve_workers_clamps_absurd_requests(self):
+        # An oversized pool cannot outrun the core count; huge requests
+        # are clamped instead of forking a thousand interpreters.
+        huge = resolve_workers(10**9)
+        assert 1 <= huge < 10**9
+        assert resolve_workers(10**9) == resolve_workers(10**12)

@@ -1,0 +1,300 @@
+"""Fault-tolerant campaign runtime: chaos-driven recovery tests.
+
+Every recovery path is exercised deterministically via the scripted
+chaos harness (:mod:`tests.sfi.chaos`): worker crashes respawn the pool
+without losing completed passes, raising passes are retried on a
+bounded budget, persistent failures become structured records while the
+rest of the campaign completes, repeated pool breakage degrades to
+serial execution instead of aborting, stragglers are marked ``timeout``
+rather than hanging the run, and an interrupted-then-resumed campaign
+is bit-identical to an uninterrupted one.
+"""
+
+import json
+import time
+import warnings
+
+import pytest
+
+from repro.errors import CampaignError, CheckpointError
+from repro.sfi import plan_campaign, run_sfi_campaign
+from repro.sfi.parallel import parallel_map
+from repro.sfi.results import CRASH, TIMEOUT, PassFailure
+from repro.sfi.runtime import (
+    DegradedExecutionWarning,
+    RuntimeOptions,
+    campaign_fingerprint,
+    load_checkpoint,
+    run_passes,
+)
+from tests.sfi.chaos import ChaosPlan, attempts_of, chaos_init, chaos_worker
+
+EXPECT = [i * i for i in range(6)]
+
+
+def _chaos(tmp_path, **kwargs) -> ChaosPlan:
+    scratch = tmp_path / "chaos"
+    scratch.mkdir(exist_ok=True)
+    return ChaosPlan(scratch=str(scratch), **kwargs)
+
+
+class TestRetry:
+    def test_transient_raise_is_retried_to_success(self, tmp_path):
+        plan = _chaos(tmp_path, raises={1: 2})
+        report = run_passes(chaos_worker, chaos_init, plan, list(range(6)),
+                            workers=2, options=RuntimeOptions(max_retries=3))
+        assert report.results == EXPECT
+        assert report.ok and not report.degraded
+        assert attempts_of(plan, 1) == 3  # two scripted failures + the success
+
+    def test_persistent_raise_becomes_structured_failure(self, tmp_path):
+        plan = _chaos(tmp_path, raises={4: 99})
+        report = run_passes(chaos_worker, chaos_init, plan, list(range(6)),
+                            workers=2, options=RuntimeOptions(max_retries=2))
+        assert report.results == EXPECT[:4] + [None, 25]
+        [failure] = report.failures
+        assert failure == PassFailure(index=4, kind=CRASH,
+                                      error=failure.error, attempts=2)
+        assert "item 4" in failure.error
+        assert attempts_of(plan, 4) == 2  # the bounded budget, no more
+
+    def test_serial_mode_retries_too(self, tmp_path):
+        plan = _chaos(tmp_path, raises={0: 1})
+        report = run_passes(chaos_worker, chaos_init, plan, list(range(3)),
+                            workers=1, options=RuntimeOptions(max_retries=2))
+        assert report.results == [0, 1, 4]
+        assert report.ok
+
+
+class TestWorkerLoss:
+    def test_crash_respawns_pool_and_loses_nothing(self, tmp_path):
+        plan = _chaos(tmp_path, crash={2: 1})
+        report = run_passes(chaos_worker, chaos_init, plan, list(range(6)),
+                            workers=2, options=RuntimeOptions(max_retries=3))
+        assert report.results == EXPECT
+        assert report.ok
+        assert report.pool_restarts >= 1
+        assert not report.degraded
+
+    def test_repeated_breakage_degrades_to_serial(self, tmp_path):
+        plan = _chaos(tmp_path, crash={3: 99})
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = run_passes(
+                chaos_worker, chaos_init, plan, list(range(6)), workers=2,
+                options=RuntimeOptions(max_retries=2, max_pool_restarts=1),
+            )
+        assert report.degraded
+        assert any(isinstance(w.message, DegradedExecutionWarning)
+                   for w in caught)
+        # The crasher resolves in-process: recorded with its attempt count...
+        [failure] = report.failures
+        assert failure.index == 3 and failure.kind == CRASH
+        assert failure.attempts == 2
+        assert "ChaosCrash" in failure.error
+        # ...while every other pass still completed.
+        assert report.results == EXPECT[:3] + [None, 16, 25]
+
+    def test_parallel_map_contract_raises_on_permanent_failure(self, tmp_path):
+        plan = _chaos(tmp_path, raises={1: 99})
+        with pytest.raises(CampaignError, match="failed permanently"):
+            parallel_map(chaos_worker, chaos_init, plan, list(range(4)),
+                         workers=2, max_retries=2)
+
+    def test_parallel_map_survives_one_crash(self, tmp_path):
+        # The previously `pragma: no cover` BrokenProcessPool path: a dead
+        # worker no longer aborts the map, it respawns and recomputes.
+        plan = _chaos(tmp_path, crash={0: 1})
+        assert parallel_map(chaos_worker, chaos_init, plan, list(range(4)),
+                            workers=2) == [0, 1, 4, 9]
+
+
+class TestTimeouts:
+    def test_straggler_marked_timeout_not_hung(self, tmp_path):
+        plan = _chaos(tmp_path, hang={1: 1}, hang_seconds=4.0)
+        started = time.monotonic()
+        report = run_passes(
+            chaos_worker, chaos_init, plan, list(range(6)), workers=2,
+            options=RuntimeOptions(pass_timeout=0.4),
+        )
+        elapsed = time.monotonic() - started
+        assert elapsed < 4.0, "campaign waited for the straggler"
+        [failure] = report.failures
+        assert failure.index == 1 and failure.kind == TIMEOUT
+        assert failure.attempts == 1  # stragglers are not retried
+        assert report.results == [0, None, 4, 9, 16, 25]
+
+    def test_all_workers_wedged_recycles_pool(self, tmp_path):
+        plan = _chaos(tmp_path, hang={0: 1, 1: 1}, hang_seconds=4.0)
+        started = time.monotonic()
+        report = run_passes(
+            chaos_worker, chaos_init, plan, list(range(6)), workers=2,
+            options=RuntimeOptions(pass_timeout=0.4),
+        )
+        assert time.monotonic() - started < 4.0
+        assert {f.index for f in report.failures} == {0, 1}
+        assert all(f.kind == TIMEOUT for f in report.failures)
+        assert report.results[2:] == EXPECT[2:]
+        assert report.pool_restarts >= 1  # hung workers were terminated
+        assert not report.degraded        # wedges don't trigger serial fallback
+
+
+class TestCheckpoint:
+    FP = campaign_fingerprint("unit", 6)
+
+    def _run(self, tmp_path, plan, **opts):
+        return run_passes(chaos_worker, chaos_init, plan, list(range(6)),
+                          workers=2,
+                          options=RuntimeOptions(**opts), fingerprint=self.FP)
+
+    def test_resume_skips_completed_passes(self, tmp_path):
+        plan = _chaos(tmp_path)
+        ck = str(tmp_path / "ck.jsonl")
+        first = self._run(tmp_path, plan, checkpoint=ck)
+        assert first.results == EXPECT
+        # Chop the last three records: a campaign killed mid-run.
+        lines = open(ck).read().splitlines(True)
+        open(ck, "w").writelines(lines[:-3])
+        resumed = self._run(tmp_path, plan, checkpoint=ck, resume=ck)
+        assert resumed.results == EXPECT
+        assert resumed.resumed == 3 and resumed.executed == 3
+        # The resumed passes were NOT re-executed (attempt counters stand).
+        total_runs = sum(attempts_of(plan, i) for i in range(6))
+        assert total_runs == 9
+
+    def test_torn_final_record_is_tolerated(self, tmp_path):
+        plan = _chaos(tmp_path)
+        ck = str(tmp_path / "ck.jsonl")
+        self._run(tmp_path, plan, checkpoint=ck)
+        with open(ck) as handle:
+            content = handle.read()
+        open(ck, "w").write(content[:-9])  # SIGKILL mid-write
+        resumed = self._run(tmp_path, plan, checkpoint=ck, resume=ck)
+        assert resumed.results == EXPECT
+        assert resumed.resumed == 5  # the torn record is simply redone
+
+    def test_missing_resume_file_raises(self, tmp_path):
+        plan = _chaos(tmp_path)
+        with pytest.raises(CheckpointError, match="does not exist"):
+            self._run(tmp_path, plan, resume=str(tmp_path / "nope.jsonl"))
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        plan = _chaos(tmp_path)
+        ck = str(tmp_path / "ck.jsonl")
+        self._run(tmp_path, plan, checkpoint=ck)
+        with pytest.raises(CheckpointError, match="different campaign"):
+            run_passes(chaos_worker, chaos_init, plan, list(range(6)),
+                       options=RuntimeOptions(resume=ck),
+                       fingerprint=campaign_fingerprint("other", 6))
+
+    def test_unsupported_version_raises(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        ck.write_text(json.dumps({
+            "format": "repro-campaign-checkpoint", "version": 99,
+            "fingerprint": self.FP, "passes": 6,
+        }) + "\n")
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(str(ck), self.FP, 6)
+
+    def test_refuses_to_overwrite_existing_checkpoint(self, tmp_path):
+        plan = _chaos(tmp_path)
+        ck = str(tmp_path / "ck.jsonl")
+        self._run(tmp_path, plan, checkpoint=ck)
+        with pytest.raises(CheckpointError, match="already exists"):
+            self._run(tmp_path, plan, checkpoint=ck)
+
+    def test_checkpoint_flushed_per_pass(self, tmp_path):
+        # Records must be durable the moment a pass completes — that is
+        # what a KeyboardInterrupt or SIGKILL leaves behind.
+        plan = _chaos(tmp_path, raises={5: 99})
+        ck = str(tmp_path / "ck.jsonl")
+        self._run(tmp_path, plan, checkpoint=ck, max_retries=1)
+        lines = [json.loads(line) for line in open(ck)]
+        assert lines[0]["version"] == 1
+        assert sorted(rec["pass"] for rec in lines[1:]) == [0, 1, 2, 3, 4]
+
+
+class TestCampaignResumeEquivalence:
+    """Acceptance: interrupted+resumed campaigns match uninterrupted ones."""
+
+    @pytest.fixture(scope="class")
+    def fib_campaign(self):
+        from repro.designs.tinycore.core import build_tinycore
+        from repro.designs.tinycore.harness import run_gate_level
+        from repro.designs.tinycore.programs import default_dmem, program
+        from repro.netlist.graph import extract_graph
+
+        words, dmem = program("fib"), default_dmem("fib")
+        netlist = build_tinycore(words, dmem)
+        golden = run_gate_level(words, dmem, netlist=netlist)
+        seqs = extract_graph(netlist.module).seq_nets()
+        plans = plan_campaign(seqs, golden.cycles - 2, 40, seed=11)
+        return words, dmem, netlist, plans
+
+    @staticmethod
+    def _sig(campaign):
+        return [(o.plan.net, o.plan.cycle, o.outcome) for o in campaign.outcomes]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sfi_resume_bit_identical(self, tmp_path, fib_campaign, workers):
+        words, dmem, netlist, plans = fib_campaign
+        baseline = run_sfi_campaign(words, dmem, plans, netlist=netlist,
+                                    lanes_per_pass=10, workers=workers)
+        ck = str(tmp_path / f"sfi_{workers}.jsonl")
+        full = run_sfi_campaign(words, dmem, plans, netlist=netlist,
+                                lanes_per_pass=10, workers=workers,
+                                runtime=RuntimeOptions(checkpoint=ck))
+        lines = open(ck).read().splitlines(True)
+        open(ck, "w").writelines(lines[:3])  # keep header + two passes
+        resumed = run_sfi_campaign(words, dmem, plans, netlist=netlist,
+                                   lanes_per_pass=10, workers=workers,
+                                   runtime=RuntimeOptions(checkpoint=ck,
+                                                          resume=ck))
+        assert self._sig(baseline) == self._sig(full) == self._sig(resumed)
+        assert baseline.counts() == resumed.counts()
+        assert resumed.resumed_passes == 2
+        assert resumed.passes == baseline.passes == 4
+
+    def test_beam_resume_bit_identical(self, tmp_path, fib_campaign):
+        from repro.ser.beam import BeamConfig, run_beam_test
+
+        words, dmem, _netlist, _plans = fib_campaign
+        config = BeamConfig(flux=5e-5, exposures=24, seed=9, lanes_per_pass=8)
+        baseline = run_beam_test(words, dmem, config, workers=2)
+        ck = str(tmp_path / "beam.jsonl")
+        run_beam_test(words, dmem, config, workers=2,
+                      runtime=RuntimeOptions(checkpoint=ck))
+        lines = open(ck).read().splitlines(True)
+        open(ck, "w").writelines(lines[:2])
+        resumed = run_beam_test(words, dmem, config, workers=2,
+                                runtime=RuntimeOptions(checkpoint=ck, resume=ck))
+        assert (baseline.sdc_events, baseline.due_events, baseline.exposures) \
+            == (resumed.sdc_events, resumed.due_events, resumed.exposures)
+        assert resumed.resumed_passes == 1
+
+    def test_sfi_persistent_crasher_records_failure(self, tmp_path, fib_campaign):
+        # Acceptance: a persistently-crashing pass is recorded with its
+        # attempt count while the rest of the campaign completes.
+        import repro.sfi.injector as injector
+
+        words, dmem, netlist, plans = fib_campaign
+        original = injector._run_sfi_batch
+
+        # Deterministic: the worker blows up on the second batch only
+        # (workers=1 keeps it in-process, no pickling of the closure).
+        def crashy(batch):
+            if batch[0] in plans[10:20]:  # the second 10-plan batch
+                raise RuntimeError("injected batch failure")
+            return original(batch)
+
+        injector._run_sfi_batch = crashy
+        try:
+            result = run_sfi_campaign(words, dmem, plans, netlist=netlist,
+                                      lanes_per_pass=10, workers=1,
+                                      runtime=RuntimeOptions(max_retries=2))
+        finally:
+            injector._run_sfi_batch = original
+        [failure] = result.failures
+        assert failure.index == 1 and failure.attempts == 2
+        assert result.passes == 3               # the other three completed
+        assert len(result.outcomes) == 30       # their outcomes survive

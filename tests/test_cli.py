@@ -130,3 +130,44 @@ def test_export_parity_variant(tmp_path):
     rc = main(["export", "tinycore", str(out), "--program", "fib", "--parity"])
     assert rc == 0
     assert "due_o" in out.read_text()
+
+
+def test_sfi_checkpoint_resume_roundtrip(tmp_path, capsys):
+    ck = tmp_path / "campaign.jsonl"
+    rc = main(["sfi", "fib", "--injections", "30", "--checkpoint", str(ck)])
+    assert rc == 0
+    first = capsys.readouterr().out
+    rc = main(["sfi", "fib", "--injections", "30", "--resume", str(ck)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "resumed:" in out
+    # Same counts line: the resumed campaign is bit-identical.
+    counts = [line for line in first.splitlines() if "counts:" in line]
+    assert counts and counts[0] in out
+
+
+def test_sfi_keyboard_interrupt_exits_130(monkeypatch, capsys, tmp_path):
+    import repro.cli as cli
+
+    def interrupt(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    # cmd_sfi imports the symbol from the package at call time
+    monkeypatch.setattr("repro.sfi.run_sfi_campaign", interrupt)
+    ck = tmp_path / "campaign.jsonl"
+    rc = cli.main(["sfi", "fib", "--injections", "20", "--checkpoint", str(ck)])
+    err = capsys.readouterr().err
+    assert rc == 130
+    assert "interrupted" in err
+    assert f"--resume {ck}" in err
+
+
+def test_beam_keyboard_interrupt_exits_130_without_checkpoint(monkeypatch, capsys):
+    def interrupt(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.ser.beam.run_beam_test", interrupt)
+    rc = main(["beam", "fib", "--exposures", "8"])
+    err = capsys.readouterr().err
+    assert rc == 130
+    assert "progress was not saved" in err

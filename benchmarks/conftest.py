@@ -24,6 +24,7 @@ from repro.workloads import default_suite
 
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 BENCH_SART_PATH = Path(__file__).resolve().parent.parent / "BENCH_sart.json"
+BENCH_PIPELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 
 def _flush_bench(path: Path, data: dict) -> None:
@@ -65,6 +66,14 @@ def bench_sart_json():
     data: dict[str, object] = {}
     yield data
     _flush_bench(BENCH_SART_PATH, data)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline_json():
+    """Artifact-cache benchmark sink, flushed to BENCH_pipeline.json."""
+    data: dict[str, object] = {}
+    yield data
+    _flush_bench(BENCH_PIPELINE_PATH, data)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,84 @@
+"""Artifact-cache benchmark — cold vs warm pipeline runs.
+
+The pipeline's on-disk artifact store (``--cache-dir``) exists so that
+re-running an analysis skips the expensive stages: the ACE workload
+suite and the compiled-plan lowering for bigcore, the golden gate-level
+run for tinycore campaigns. This bench measures that directly — the
+same run-spec executed cold and then warm against one cache directory —
+and records the wall-time split in ``BENCH_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+from repro.pipeline import (
+    ArtifactStore,
+    RunSpec,
+    SfiSpec,
+    WorkloadsSpec,
+    execute,
+)
+
+BIGCORE_SPEC = RunSpec(
+    design="bigcore@scale=0.3",
+    workloads=WorkloadsSpec(per_class=1, length=1000),
+)
+TINYCORE_SPEC = RunSpec(
+    design="tinycore:fib", sfi=SfiSpec(injections=60, seed=1),
+)
+
+
+def _timed(spec, store):
+    started = time.perf_counter()
+    outcome = execute(spec, store=store)
+    return outcome, time.perf_counter() - started
+
+
+def test_bench_pipeline_warm_cache_smoke(tmp_path, bench_pipeline_json):
+    cache = tmp_path / "cache"
+
+    cold, cold_s = _timed(BIGCORE_SPEC, ArtifactStore(cache))
+    warm, warm_s = _timed(BIGCORE_SPEC, ArtifactStore(cache))
+
+    cached = {e.stage for e in warm.events if e.cached}
+    # The warm run must skip the ACE suite and the plan lowering.
+    assert cached >= {"ace", "plan"}
+    # ... and change nothing numeric.
+    assert (warm.sart.result.report.table()
+            == cold.sart.result.report.table())
+
+    t_cold, tc_s = _timed(TINYCORE_SPEC, ArtifactStore(cache))
+    t_warm, tw_s = _timed(TINYCORE_SPEC, ArtifactStore(cache))
+    assert {e.stage for e in t_warm.events if e.cached} >= {"golden", "sfi"}
+    assert t_warm.sfi.result.counts() == t_cold.sfi.result.counts()
+
+    rows = [
+        ["bigcore report", f"{cold_s:.2f}", f"{warm_s:.2f}",
+         f"{cold_s / warm_s:.1f}x", ",".join(sorted(cached))],
+        ["tinycore sfi", f"{tc_s:.2f}", f"{tw_s:.2f}",
+         f"{tc_s / tw_s:.1f}x",
+         ",".join(sorted(e.stage for e in t_warm.events if e.cached))],
+    ]
+    print_table(
+        "warm-cache speedup (same spec, same cache dir)",
+        ["flow", "cold s", "warm s", "speedup", "stages reused"],
+        rows,
+    )
+    bench_pipeline_json["warm_cache"] = {
+        "bigcore_report": {
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2),
+            "cached_stages": sorted(cached),
+        },
+        "tinycore_sfi": {
+            "cold_seconds": round(tc_s, 4),
+            "warm_seconds": round(tw_s, 4),
+            "speedup": round(tc_s / tw_s, 2),
+            "cached_stages": sorted(
+                e.stage for e in t_warm.events if e.cached
+            ),
+        },
+    }

@@ -92,6 +92,23 @@ def suite_ports(
     return averaged, results
 
 
+def suite_ports_and_table(
+    traces, config=None, *, bitwise: bool = True
+) -> "tuple[dict[str, StructurePorts], str]":
+    """Run a workload suite; return suite-average ports + rendered table.
+
+    The artifact-friendly sibling of :func:`suite_ports`: instead of the
+    per-run :class:`PerfResult` list (large, simulator-heavy) it returns
+    the rendered Figure-9-style structure table, so the pipeline layer
+    can persist everything a warm rerun needs to reproduce the report
+    without re-running the ACE model.
+    """
+    from repro.ace.report import structure_table
+
+    averaged, results = suite_ports(traces, config, bitwise=bitwise)
+    return averaged, structure_table(results)
+
+
 def _scalar(value) -> float:
     if isinstance(value, (int, float)):
         return float(value)

@@ -1,5 +1,14 @@
 """Command-line interface: ``repro-sart`` / ``python -m repro``.
 
+Every subcommand is a thin adapter over the staged analysis pipeline
+(:mod:`repro.pipeline`): it builds a declarative
+:class:`~repro.pipeline.spec.RunSpec` from its flags, executes it
+through :func:`~repro.pipeline.runner.execute`, and renders the typed
+artifacts that come back. Pass ``--cache-dir`` to any subcommand to
+persist expensive stage artifacts (golden runs, the ACE workload suite,
+compiled solve plans, campaign outcomes) in a content-addressed store;
+a warm rerun then skips straight to the stages whose inputs changed.
+
 Subcommands:
 
 ``analyze``
@@ -23,6 +32,9 @@ Subcommands:
 ``beam``
     Simulated accelerated beam test (Poisson strikes into all storage)
     with the same backend/worker controls.
+``run``
+    Execute a declarative TOML/JSON run-spec describing any composition
+    of stages (docs/ARCHITECTURE.md documents the format).
 """
 
 from __future__ import annotations
@@ -30,39 +42,55 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.graphmodel import StructurePorts
-from repro.core.sart import SartConfig, run_sart
+from repro import __version__
+from repro.errors import PipelineError
+from repro.pipeline.emit import (
+    export_campaign_json,
+    export_sart,
+    print_runtime_summary,
+    print_stats,
+)
+from repro.pipeline.spec import (
+    BeamSpec,
+    CampaignSpec,
+    ExportSpec,
+    RunSpec,
+    SartSpec,
+    SfiSpec,
+    SweepSpec,
+    WorkloadsSpec,
+)
 
 
-def _load_ports(path: str) -> dict[str, StructurePorts]:
-    ports: dict[str, StructurePorts] = {}
-    with open(path) as handle:
-        for lineno, raw in enumerate(handle, start=1):
-            line = raw.split("#", 1)[0].strip()
-            if not line:
-                continue
-            fields = line.split()
-            if len(fields) not in (3, 4):
-                raise SystemExit(f"{path}:{lineno}: expected 'name pavf_r pavf_w [avf]'")
-            name = fields[0]
-            avf = float(fields[3]) if len(fields) == 4 else None
-            ports[name] = StructurePorts(
-                name=name, pavf_r=float(fields[1]), pavf_w=float(fields[2]), avf=avf
-            )
-    return ports
+def _store_from_args(args):
+    path = getattr(args, "cache_dir", None)
+    if not path:
+        return None
+    from repro.pipeline.store import ArtifactStore
+
+    return ArtifactStore(path)
 
 
-def _runtime_from_args(args):
-    """Build campaign RuntimeOptions from the sfi/beam robustness flags."""
-    from repro.sfi.runtime import RuntimeOptions
+def _sart_spec(args) -> SartSpec:
+    return SartSpec(
+        loop_pavf=args.loop_pavf,
+        iterations=args.iterations,
+        monolithic=args.monolithic,
+        engine=args.engine,
+        relax_workers=getattr(args, "relax_workers", 1),
+    )
 
+
+def _campaign_spec(args) -> CampaignSpec:
     # --resume implies checkpointing to the same file, so a run that is
     # interrupted *again* keeps extending the same checkpoint.
-    checkpoint = getattr(args, "checkpoint", None) or getattr(args, "resume", None)
-    return RuntimeOptions(
+    return CampaignSpec(
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "workers", 1),
+        lanes_per_pass=getattr(args, "lanes_per_pass", None),
         max_retries=getattr(args, "max_retries", 3),
         pass_timeout=getattr(args, "pass_timeout", None),
-        checkpoint=checkpoint,
+        checkpoint=getattr(args, "checkpoint", None),
         resume=getattr(args, "resume", None),
         max_pool_restarts=getattr(args, "max_pool_restarts", 3),
     )
@@ -86,135 +114,27 @@ def _interrupted(args) -> int:
     return 130  # 128 + SIGINT, the conventional shell exit code
 
 
-def _print_runtime_summary(failures, pool_restarts, degraded, resumed) -> None:
-    if resumed:
-        print(f"  resumed: {resumed} pass(es) loaded from checkpoint")
-    if pool_restarts or degraded:
-        note = f"  runtime: worker pool respawned {pool_restarts} time(s)"
-        if degraded:
-            note += "; degraded to serial execution"
-        print(note)
-    if failures:
-        print(f"  WARNING: {len(failures)} pass(es) failed permanently:")
-        for f in failures[:5]:
-            print(f"    pass {f.index}: {f.kind} after {f.attempts} "
-                  f"attempt(s): {f.error}")
-        if len(failures) > 5:
-            print(f"    ... and {len(failures) - 5} more")
-
-
-def _config_from_args(args) -> SartConfig:
-    return SartConfig(
-        loop_pavf=args.loop_pavf,
-        partition_by_fub=not args.monolithic,
-        iterations=args.iterations,
-        engine=args.engine,
-        workers=getattr(args, "relax_workers", 1),
-    )
-
-
-def cmd_analyze(args) -> int:
-    from repro.netlist.exlif import parse_exlif
-    from repro.netlist.flatten import flatten
-
-    with open(args.netlist) as handle:
-        modules = parse_exlif(handle.read())
-    if args.top:
-        top = modules[args.top]
-    else:
-        top = next(iter(modules.values()))
-    flat = flatten(top, modules)
-    ports = _load_ports(args.ports) if args.ports else None
-    result = run_sart(flat, ports, _config_from_args(args))
+def _render_sart(result, args) -> None:
     print(result.report.table())
-    _print_stats(result)
-    _maybe_export(result, args)
-    return 0
-
-
-def cmd_tinycore(args) -> int:
-    from repro.core.report import average_seq_avf
-    from repro.designs.tinycore.archsim import tinycore_structure_ports
-    from repro.designs.tinycore.core import build_tinycore
-    from repro.designs.tinycore.harness import run_gate_level
-    from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
-
-    if args.program not in PROGRAMS:
-        raise SystemExit(f"unknown program {args.program!r}; have {sorted(PROGRAMS)}")
-    words, dmem = program(args.program), default_dmem(args.program)
-    netlist = build_tinycore(words, dmem)
-    golden = run_gate_level(words, dmem, netlist=netlist)
-    ports, trace, _ = tinycore_structure_ports(
-        args.program, words, dmem, gate_cycles=golden.cycles
+    print_stats(result)
+    export_sart(
+        result,
+        export_csv=getattr(args, "export_csv", None),
+        export_fubs=getattr(args, "export_fubs", None),
+        export_json=getattr(args, "export_json", None),
     )
-    print(f"{args.program}: {golden.cycles} cycles, ACE fraction {trace.ace_fraction():.2f}")
-    for name, p in sorted(ports.items()):
-        print(f"  structure {name:6s} pAVF_R={p.pavf_r:.3f} pAVF_W={p.pavf_w:.3f} AVF={p.avf:.3f}")
-    result = run_sart(netlist.module, ports, _config_from_args(args))
-    print(result.report.table())
-    _print_stats(result)
-    _maybe_export(result, args)
-    print(f"average sequential AVF: {average_seq_avf(result.node_avfs):.4f}")
-
-    if args.sfi:
-        from repro.netlist.graph import extract_graph
-        from repro.sfi import overall_avf, plan_campaign, run_sfi_campaign
-
-        seqs = extract_graph(netlist.module).seq_nets()
-        plans = plan_campaign(seqs, golden.cycles - 2, args.sfi, seed=1)
-        try:
-            campaign = run_sfi_campaign(
-                words, dmem, plans, netlist=netlist, backend=args.backend,
-                workers=args.workers, lanes_per_pass=args.lanes_per_pass,
-                runtime=_runtime_from_args(args),
-            )
-        except KeyboardInterrupt:
-            return _interrupted(args)
-        avf, (lo, hi) = overall_avf(campaign.outcomes)
-        print(
-            f"SFI ({args.sfi} injections): AVF={avf:.3f} [{lo:.3f},{hi:.3f}] "
-            f"counts={campaign.counts()} in {campaign.elapsed_seconds:.1f}s"
-        )
-        _print_runtime_summary(campaign.failures, campaign.pool_restarts,
-                               campaign.degraded, campaign.resumed_passes)
-    return 0
 
 
-def _resolve_program(name: str) -> tuple[list[int], list[int] | None]:
-    from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
+def _render_sfi_standalone(outcome, program, backend, workers) -> None:
+    from repro.sfi import overall_avf
 
-    if name not in PROGRAMS:
-        raise SystemExit(f"unknown program {name!r}; have {sorted(PROGRAMS)}")
-    return program(name), default_dmem(name)
-
-
-def cmd_sfi(args) -> int:
-    from repro.designs.tinycore.core import build_tinycore
-    from repro.designs.tinycore.harness import run_gate_level
-    from repro.netlist.graph import extract_graph
-    from repro.sfi import overall_avf, plan_campaign, run_sfi_campaign
-
-    words, dmem = _resolve_program(args.program)
-    netlist = build_tinycore(words, dmem)
-    golden = run_gate_level(words, dmem, netlist=netlist, backend=args.backend)
-    seqs = extract_graph(netlist.module).seq_nets()
-    plans = plan_campaign(
-        seqs, golden.cycles - 2, args.injections, seed=args.seed,
-        per_node=args.per_node,
-    )
-    try:
-        campaign = run_sfi_campaign(
-            words, dmem, plans, netlist=netlist, backend=args.backend,
-            workers=args.workers, lanes_per_pass=args.lanes_per_pass,
-            runtime=_runtime_from_args(args),
-        )
-    except KeyboardInterrupt:
-        return _interrupted(args)
+    campaign = outcome.result
     avf, (lo, hi) = overall_avf(campaign.outcomes)
     due = campaign.due_avf()
     print(
-        f"{args.program}: {len(plans)} injections over {golden.cycles} cycles "
-        f"(backend={args.backend}, workers={args.workers}, passes={campaign.passes})"
+        f"{program}: {outcome.injections} injections over "
+        f"{outcome.golden_cycles} cycles "
+        f"(backend={backend}, workers={workers}, passes={campaign.passes})"
     )
     print(f"  counts: {campaign.counts()}")
     print(f"  SDC AVF={avf:.3f} [{lo:.3f},{hi:.3f}]  DUE AVF={due:.3f}")
@@ -222,32 +142,17 @@ def cmd_sfi(args) -> int:
         f"  {campaign.simulated_cycles} simulated cycles "
         f"in {campaign.elapsed_seconds:.2f}s"
     )
-    _print_runtime_summary(campaign.failures, campaign.pool_restarts,
-                           campaign.degraded, campaign.resumed_passes)
-    return 0
+    print_runtime_summary(campaign.failures, campaign.pool_restarts,
+                          campaign.degraded, campaign.resumed_passes)
 
 
-def cmd_beam(args) -> int:
-    from repro.ser.beam import BeamConfig, run_beam_test
-
-    words, dmem = _resolve_program(args.program)
-    config = BeamConfig(
-        flux=args.flux, exposures=args.exposures, seed=args.seed,
-        lanes_per_pass=args.lanes_per_pass, include_arrays=args.include_arrays,
-        parity=args.parity,
-    )
-    try:
-        result = run_beam_test(
-            words, dmem, config, backend=args.backend, workers=args.workers,
-            runtime=_runtime_from_args(args),
-        )
-    except KeyboardInterrupt:
-        return _interrupted(args)
+def _render_beam(outcome, program, backend, workers) -> None:
+    result = outcome.result
     lo, hi = result.rate_interval()
     print(
-        f"{args.program}: {result.exposures} exposures x "
+        f"{program}: {result.exposures} exposures x "
         f"{result.cycles_per_run} cycles under flux {result.flux:g} "
-        f"(backend={args.backend}, workers={args.workers})"
+        f"(backend={backend}, workers={workers})"
     )
     print(
         f"  {result.strikes} strikes into {result.storage_bits} storage bits: "
@@ -257,127 +162,325 @@ def cmd_beam(args) -> int:
         f"  SDC rate {result.sdc_rate_per_cycle:.3e}/cycle "
         f"[{lo:.3e},{hi:.3e}] in {result.elapsed_seconds:.2f}s"
     )
-    _print_runtime_summary(result.failures, result.pool_restarts,
-                           result.degraded, result.resumed_passes)
+    print_runtime_summary(result.failures, result.pool_restarts,
+                          result.degraded, result.resumed_passes)
+
+
+def _render_bigcore_design(artifact) -> None:
+    design = artifact.design
+    print(f"bigcore: {design.seq_count()} sequentials, "
+          f"{len(design.array_names())} arrays")
+
+
+def _render_plan_line(plan, seconds) -> None:
+    verb = "reused from cache" if plan.cached else "lowered"
+    print(f"solve plan: {plan.n} nodes {verb} in {seconds:.2f}s")
+
+
+def _backend_name(spec_backend) -> str:
+    from repro.rtlsim.backends import DEFAULT_BACKEND
+
+    return spec_backend or DEFAULT_BACKEND
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def cmd_analyze(args) -> int:
+    from repro.pipeline.runner import execute
+
+    ref = f"exlif:{args.netlist}"
+    if args.top:
+        ref += f"@top={args.top}"
+    spec = RunSpec(design=ref, ports_file=args.ports, sart=_sart_spec(args))
+    outcome = execute(spec, store=_store_from_args(args))
+    _render_sart(outcome.sart.result, args)
+    return 0
+
+
+def cmd_tinycore(args) -> int:
+    from repro.pipeline.runner import execute
+
+    spec = RunSpec(
+        design=f"tinycore:{args.program}",
+        sart=_sart_spec(args),
+        sfi=SfiSpec(injections=args.sfi, seed=1) if args.sfi else None,
+        campaign=_campaign_spec(args),
+    )
+
+    state: dict = {}
+
+    def observer(event, info):
+        if event == "golden":
+            state["golden"] = info["golden"]
+        elif event == "ports":
+            env = info["port_env"]
+            print(f"{args.program}: {state['golden'].cycles} cycles, "
+                  f"ACE fraction {env.ace_fraction:.2f}")
+            for name, p in sorted(env.ports.items()):
+                print(f"  structure {name:6s} pAVF_R={p.pavf_r:.3f} "
+                      f"pAVF_W={p.pavf_w:.3f} AVF={p.avf:.3f}")
+        elif event == "sart":
+            from repro.core.report import average_seq_avf
+
+            result = info["outcome"].result
+            _render_sart(result, args)
+            print(f"average sequential AVF: "
+                  f"{average_seq_avf(result.node_avfs):.4f}")
+        elif event == "sfi":
+            from repro.sfi import overall_avf
+
+            campaign = info["outcome"].result
+            avf, (lo, hi) = overall_avf(campaign.outcomes)
+            print(
+                f"SFI ({args.sfi} injections): AVF={avf:.3f} "
+                f"[{lo:.3f},{hi:.3f}] counts={campaign.counts()} "
+                f"in {campaign.elapsed_seconds:.1f}s"
+            )
+            print_runtime_summary(campaign.failures, campaign.pool_restarts,
+                                  campaign.degraded, campaign.resumed_passes)
+
+    try:
+        execute(spec, store=_store_from_args(args), observer=observer)
+    except KeyboardInterrupt:
+        return _interrupted(args)
+    return 0
+
+
+def cmd_sfi(args) -> int:
+    from repro.pipeline.runner import execute
+
+    spec = RunSpec(
+        design=f"tinycore:{args.program}",
+        sfi=SfiSpec(injections=args.injections, seed=args.seed,
+                    per_node=args.per_node),
+        campaign=_campaign_spec(args),
+    )
+    try:
+        outcome = execute(spec, store=_store_from_args(args))
+    except KeyboardInterrupt:
+        return _interrupted(args)
+    _render_sfi_standalone(outcome.sfi, args.program,
+                           _backend_name(args.backend), args.workers)
+    if getattr(args, "export_json", None):
+        export_campaign_json(outcome.sfi, args.export_json,
+                             program=args.program)
+    return 0
+
+
+def cmd_beam(args) -> int:
+    from repro.pipeline.runner import execute
+
+    spec = RunSpec(
+        design=f"tinycore:{args.program}",
+        beam=BeamSpec(flux=args.flux, exposures=args.exposures,
+                      seed=args.seed, include_arrays=args.include_arrays,
+                      parity=args.parity),
+        campaign=_campaign_spec(args),
+    )
+    try:
+        outcome = execute(spec, store=_store_from_args(args))
+    except KeyboardInterrupt:
+        return _interrupted(args)
+    _render_beam(outcome.beam, args.program,
+                 _backend_name(args.backend), args.workers)
+    if getattr(args, "export_json", None):
+        export_campaign_json(outcome.beam, args.export_json,
+                             program=args.program)
     return 0
 
 
 def cmd_bigcore(args) -> int:
-    from repro.ace.portavf import suite_ports
-    from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
-    from repro.workloads import default_suite
+    from repro.pipeline.runner import execute
 
-    design = build_bigcore(BigcoreConfig(scale=args.scale, seed=args.seed))
-    print(f"bigcore: {design.seq_count()} sequentials, {len(design.array_names())} arrays")
-    traces = default_suite(per_class=args.workloads_per_class, length=args.workload_length)
-    print(f"running {len(traces)} workloads through the ACE model...")
-    model_ports, results = suite_ports(traces)
-    from repro.ace.report import structure_table
+    spec = RunSpec(
+        design=f"bigcore@scale={args.scale},seed={args.seed}",
+        workloads=WorkloadsSpec(per_class=args.workloads_per_class,
+                                length=args.workload_length),
+        sart=_sart_spec(args),
+    )
 
-    print(structure_table(results))
-    ports = map_structure_ports(design, model_ports)
-    result = run_sart(design.module, ports, _config_from_args(args))
-    print(result.report.table())
-    _print_stats(result)
-    _maybe_export(result, args)
+    def observer(event, info):
+        if event == "design":
+            _render_bigcore_design(info["artifact"])
+        elif event == "ace:run":
+            print(f"running {info['workloads']} workloads through "
+                  f"the ACE model...")
+        elif event == "ace:cached":
+            print(f"ACE suite: {info['workloads']} workloads reused "
+                  f"from cache")
+        elif event == "ports":
+            print(info["port_env"].ace_table)
+        elif event == "sart":
+            _render_sart(info["outcome"].result, args)
+
+    execute(spec, store=_store_from_args(args), observer=observer)
     return 0
 
 
 def cmd_sweep(args) -> int:
-    import time
+    from repro.pipeline.runner import execute
 
-    from repro.ace.portavf import suite_ports
-    from repro.core.sart import build_plan
-    from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
-    from repro.workloads import default_suite
+    spec = RunSpec(
+        design=f"bigcore@scale={args.scale},seed={args.seed}",
+        workloads=WorkloadsSpec(per_class=args.workloads_per_class,
+                                length=args.workload_length),
+        sweep=SweepSpec(points=args.points),
+    )
 
-    design = build_bigcore(BigcoreConfig(scale=args.scale, seed=args.seed))
-    traces = default_suite(per_class=2, length=args.workload_length)
-    model_ports, _ = suite_ports(traces)
-    ports = map_structure_ports(design, model_ports)
-    # Build the design and lower the model once; every sweep point is a
-    # re-evaluation of the same SolvePlan against a new environment.
-    started = time.perf_counter()
-    plan = build_plan(design.module, ports)
-    print(f"solve plan: {plan.n} nodes lowered in {time.perf_counter() - started:.2f}s")
-    print("loop_pavf  avg_seq_avf  seconds")
-    for i in range(args.points):
-        value = i / (args.points - 1) if args.points > 1 else 0.0
-        config = SartConfig(loop_pavf=value, partition_by_fub=False)
-        started = time.perf_counter()
-        result = run_sart(design.module, ports, config, plan=plan)
-        elapsed = time.perf_counter() - started
-        print(f"{value:9.2f}  {result.report.weighted_seq_avf:.4f}  {elapsed:7.3f}")
+    def observer(event, info):
+        if event == "plan":
+            _render_plan_line(info["plan"], info["seconds"])
+        elif event == "sweep:begin":
+            print("loop_pavf  avg_seq_avf  seconds")
+        elif event == "sweep:point":
+            print(f"{info['value']:9.2f}  "
+                  f"{info['result'].report.weighted_seq_avf:.4f}  "
+                  f"{info['seconds']:7.3f}")
+
+    execute(spec, store=_store_from_args(args), observer=observer)
     return 0
 
 
 def cmd_export(args) -> int:
+    from repro.pipeline.runner import execute
+
     if args.design == "tinycore":
-        from repro.designs.tinycore.core import build_tinycore
-        from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
-
         name = args.program or "fib"
-        if name not in PROGRAMS:
-            raise SystemExit(f"unknown program {name!r}")
-        module = build_tinycore(program(name), default_dmem(name),
-                                parity=args.parity).module
+        ref = f"tinycore:{name}"
+        if args.parity:
+            ref += "@parity=1"
     else:
-        from repro.designs.bigcore import BigcoreConfig, build_bigcore
+        ref = f"bigcore@scale={args.scale},seed={args.seed}"
+    spec = RunSpec(
+        design=ref,
+        export=ExportSpec(output=args.output, format=args.format),
+    )
 
-        module = build_bigcore(BigcoreConfig(scale=args.scale, seed=args.seed)).module
+    def observer(event, info):
+        if event == "export":
+            print(f"wrote {args.design} as {info['format']} to "
+                  f"{info['path']} ({len(info['module'].instances)} "
+                  f"instances)")
 
-    if args.format == "exlif":
-        from repro.netlist.exlif import write_exlif
-
-        text = write_exlif(module)
-    else:
-        from repro.netlist.verilog import write_verilog
-
-        text, _names = write_verilog(module)
-    with open(args.output, "w") as handle:
-        handle.write(text)
-    print(f"wrote {args.design} as {args.format} to {args.output} "
-          f"({len(module.instances)} instances)")
+    execute(spec, store=_store_from_args(args), observer=observer)
     return 0
 
 
-def _maybe_export(result, args) -> None:
-    from repro.core.export import fub_report_csv, node_avfs_csv, summary_json
+def cmd_run(args) -> int:
+    from repro.pipeline.emit import cache_note
+    from repro.pipeline.runner import execute
+    from repro.pipeline.spec import load_spec
 
-    if getattr(args, "export_csv", None):
-        with open(args.export_csv, "w") as handle:
-            handle.write(node_avfs_csv(result))
-        print(f"wrote per-node AVFs to {args.export_csv}")
-    if getattr(args, "export_fubs", None):
-        with open(args.export_fubs, "w") as handle:
-            handle.write(fub_report_csv(result))
-        print(f"wrote per-FUB report to {args.export_fubs}")
+    spec = load_spec(args.spec)
+    backend = _backend_name(spec.campaign.backend)
+    workers = spec.campaign.workers
+
+    state: dict = {}
+
+    def observer(event, info):
+        if event == "design":
+            artifact = info["artifact"]
+            if artifact.kind == "bigcore":
+                _render_bigcore_design(artifact)
+            else:
+                print(f"design: {artifact.describe()}")
+        elif event == "golden":
+            state["golden"] = info["golden"]
+        elif event == "ports":
+            env = info["port_env"]
+            if env.source == "archsim":
+                print(f"golden run: {state['golden'].cycles} cycles, "
+                      f"ACE fraction {env.ace_fraction:.2f}")
+                for name, p in sorted(env.ports.items()):
+                    print(f"  structure {name:6s} pAVF_R={p.pavf_r:.3f} "
+                          f"pAVF_W={p.pavf_w:.3f} AVF={p.avf:.3f}")
+            elif env.source == "ace-suite":
+                print(env.ace_table)
+        elif event == "ace:run":
+            print(f"running {info['workloads']} workloads through "
+                  f"the ACE model...")
+        elif event == "ace:cached":
+            print(f"ACE suite: {info['workloads']} workloads reused "
+                  f"from cache")
+        elif event == "plan":
+            _render_plan_line(info["plan"], info["seconds"])
+        elif event == "sweep:begin":
+            print("loop_pavf  avg_seq_avf  seconds")
+        elif event == "sweep:point":
+            print(f"{info['value']:9.2f}  "
+                  f"{info['result'].report.weighted_seq_avf:.4f}  "
+                  f"{info['seconds']:7.3f}")
+        elif event == "sart":
+            result = info["outcome"].result
+            print(result.report.table())
+            print_stats(result)
+        elif event == "export":
+            print(f"wrote {info['format']} to {info['path']} "
+                  f"({len(info['module'].instances)} instances)")
+
+    try:
+        outcome = execute(spec, store=_store_from_args(args),
+                          observer=observer)
+    except KeyboardInterrupt:
+        return _interrupted(args)
+    program = outcome.design.program_name
+    if outcome.sfi is not None:
+        _render_sfi_standalone(outcome.sfi, program or outcome.design.ref,
+                               backend, workers)
+    if outcome.beam is not None:
+        _render_beam(outcome.beam, program or outcome.design.ref,
+                     backend, workers)
     if getattr(args, "export_json", None):
-        with open(args.export_json, "w") as handle:
-            handle.write(summary_json(result))
-        print(f"wrote summary to {args.export_json}")
+        from repro.pipeline.emit import write_json
+
+        payload: dict = {"design": outcome.design.ref,
+                         "stages": [e.stage for e in outcome.events],
+                         "cached_stages": sorted(
+                             {e.stage for e in outcome.events if e.cached})}
+        if outcome.sart is not None:
+            report = outcome.sart.result.report
+            payload["weighted_seq_avf"] = report.weighted_seq_avf
+        if outcome.sweep:
+            payload["sweep"] = [
+                {"loop_pavf": p.value,
+                 "weighted_seq_avf": p.result.report.weighted_seq_avf}
+                for p in outcome.sweep
+            ]
+        if outcome.sfi is not None:
+            from repro.pipeline.emit import campaign_summary
+
+            payload["sfi"] = campaign_summary(outcome.sfi, program=program)
+        if outcome.beam is not None:
+            from repro.pipeline.emit import campaign_summary
+
+            payload["beam"] = campaign_summary(outcome.beam, program=program)
+        write_json(args.export_json, payload)
+        print(f"wrote run summary to {args.export_json}")
+    cache_note(outcome.events)
+    return 0
 
 
-def _print_stats(result) -> None:
-    s = result.stats
-    print(
-        f"nodes={int(s['nodes'])} sequentials={int(s['sequentials'])} "
-        f"loops={int(s['loop_bits'])} ctrl={int(s['ctrl_bits'])} "
-        f"visited={s['visited_fraction']:.1%} elapsed={result.elapsed_seconds:.2f}s"
-    )
-    if result.trace is not None:
-        print(
-            f"relaxation: {result.trace.iterations} iterations, "
-            f"converged={result.trace.converged}"
-        )
-
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sart",
         description="Sequential AVF computation (MICRO-48 2015 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def cache_opts(p):
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed artifact store: reruns "
+                            "reuse golden runs, the ACE suite, compiled "
+                            "solve plans and campaign outcomes whose "
+                            "fingerprints still match")
 
     def sim_opts(p):
         from repro.rtlsim.backends import BACKEND_NAMES, DEFAULT_BACKEND
@@ -429,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the per-FUB report as CSV")
         p.add_argument("--export-json", metavar="PATH",
                        help="write a JSON run summary")
+        cache_opts(p)
 
     p = sub.add_parser("analyze", help="run SART on an EXLIF netlist")
     p.add_argument("netlist", help="EXLIF file")
@@ -453,7 +557,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-node", action="store_true",
                    help="inject N faults into every sequential node instead "
                         "of sampling the node x cycle space")
+    p.add_argument("--export-json", metavar="PATH",
+                   help="write a machine-readable campaign summary")
     sim_opts(p)
+    cache_opts(p)
     p.set_defaults(func=cmd_sfi)
 
     p = sub.add_parser("beam", help="simulated accelerated beam test")
@@ -467,7 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also strike register file / data memory bits")
     p.add_argument("--parity", action="store_true",
                    help="use the parity-protected core (array strikes -> DUE)")
+    p.add_argument("--export-json", metavar="PATH",
+                   help="write a machine-readable beam summary")
     sim_opts(p)
+    cache_opts(p)
     p.set_defaults(func=cmd_beam)
 
     p = sub.add_parser("bigcore", help="full flow on the synthetic big core")
@@ -487,20 +597,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="build the parity-protected tinycore variant")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=42)
+    cache_opts(p)
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser("sweep", help="loop-boundary pAVF sweep (Figure 8)")
     p.add_argument("--points", type=int, default=11)
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--workloads-per-class", type=int, default=2, metavar="N",
+                   help="ACE-suite workloads per class (default 2, "
+                        "matching bigcore)")
     p.add_argument("--workload-length", type=int, default=3000)
+    cache_opts(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("run", help="execute a declarative TOML/JSON run-spec")
+    p.add_argument("spec", help="run-spec file (.toml or .json)")
+    p.add_argument("--export-json", metavar="PATH",
+                   help="write a machine-readable summary of the whole run")
+    cache_opts(p)
+    p.set_defaults(func=cmd_run)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PipelineError as exc:
+        raise SystemExit(str(exc))
 
 
 if __name__ == "__main__":

@@ -93,6 +93,21 @@ class SartConfig:
     # Put port traffic atoms on MEM address/enable nets.
     port_traffic_on_addresses: bool = True
 
+    def structural_knobs(self) -> tuple:
+        """The config fields a :class:`SolvePlan` is built from.
+
+        Everything else in the config is *environmental* (numeric pAVF
+        bindings, iteration budgets) and can vary freely against one
+        plan. The pipeline layer keys its plan-cache fingerprints on
+        exactly this tuple, so cached plans are reused across
+        environment changes and invalidated by structural ones.
+        """
+        return (
+            self.detect_ctrl,
+            tuple(self.ctrl_patterns),
+            self.port_traffic_on_addresses,
+        )
+
 
 @dataclass
 class SartResult:
@@ -188,6 +203,10 @@ def run_sart(
     config = config or SartConfig()
     started = time.perf_counter()
 
+    # Accept a pipeline PlanArtifact (or anything wrapping a SolvePlan
+    # in a ``.plan`` attribute) wherever a bare plan is expected.
+    if plan is not None and not isinstance(plan, SolvePlan):
+        plan = getattr(plan, "plan", plan)
     plan_reused = plan is not None
     if config.engine == ENGINE_COMPILED:
         if plan is None:

@@ -1,0 +1,50 @@
+"""Bigcore design provider for the analysis pipeline.
+
+Adapts the synthetic big-core generator to the uniform
+:class:`~repro.pipeline.registry.DesignProvider` protocol. The
+fingerprint covers the full :class:`~repro.designs.bigcore.core
+.BigcoreConfig` (seed, scale, fub_count, feedback_fubs), so two runs at
+the same generator parameters share every downstream cache entry while
+any parameter change invalidates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designs.bigcore.core import BigcoreConfig, build_bigcore
+from repro.pipeline.artifacts import DesignArtifact
+from repro.pipeline.fingerprint import stage_fingerprint
+
+
+@dataclass(frozen=True)
+class BigcoreProvider:
+    """``bigcore[@scale=...,seed=...]`` — the synthetic scale design."""
+
+    config: BigcoreConfig = BigcoreConfig()
+
+    @property
+    def ref(self) -> str:
+        c = self.config
+        parts = [f"scale={c.scale:g}", f"seed={c.seed}"]
+        if c.fub_count is not None:
+            parts.append(f"fub_count={c.fub_count}")
+        if c.feedback_fubs != 3:
+            parts.append(f"feedback_fubs={c.feedback_fubs}")
+        return "bigcore@" + ",".join(parts)
+
+    def fingerprint(self) -> str:
+        c = self.config
+        return stage_fingerprint(
+            "design", "bigcore", c.seed, c.scale, c.fub_count, c.feedback_fubs
+        )
+
+    def build(self) -> DesignArtifact:
+        design = build_bigcore(self.config)
+        return DesignArtifact(
+            ref=self.ref,
+            kind="bigcore",
+            fingerprint=self.fingerprint(),
+            module=design.module,
+            design=design,
+        )

@@ -1,0 +1,60 @@
+"""Tinycore design provider for the analysis pipeline.
+
+Adapts a tinycore benchmark program to the uniform
+:class:`~repro.pipeline.registry.DesignProvider` protocol: a stable
+fingerprint over the actual program image (words + data memory + parity
+variant, not just the name) and a :class:`~repro.pipeline.artifacts
+.DesignArtifact` carrying the simulable netlist for the gate-level
+branches (golden run, SFI, beam) alongside the flattened module SART
+analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designs.tinycore.core import build_tinycore
+from repro.designs.tinycore.programs import PROGRAMS, default_dmem, program
+from repro.errors import DesignRefError
+from repro.pipeline.artifacts import DesignArtifact
+from repro.pipeline.fingerprint import stage_fingerprint
+
+
+@dataclass(frozen=True)
+class TinycoreProvider:
+    """``tinycore:<program>[@parity=1]`` — a benchmark on the real core."""
+
+    program: str
+    parity: bool = False
+
+    @property
+    def ref(self) -> str:
+        suffix = "@parity=1" if self.parity else ""
+        return f"tinycore:{self.program}{suffix}"
+
+    def words(self) -> tuple[list[int], list[int] | None]:
+        if self.program not in PROGRAMS:
+            raise DesignRefError(
+                f"unknown program {self.program!r}; have {sorted(PROGRAMS)}"
+            )
+        return program(self.program), default_dmem(self.program)
+
+    def fingerprint(self) -> str:
+        words, dmem = self.words()
+        return stage_fingerprint(
+            "design", "tinycore", self.program, self.parity, words, dmem
+        )
+
+    def build(self) -> DesignArtifact:
+        words, dmem = self.words()
+        netlist = build_tinycore(words, dmem, parity=self.parity)
+        return DesignArtifact(
+            ref=self.ref,
+            kind="tinycore",
+            fingerprint=self.fingerprint(),
+            module=netlist.module,
+            netlist=netlist,
+            program=tuple(words),
+            dmem=tuple(dmem) if dmem is not None else None,
+            program_name=self.program,
+        )

@@ -73,6 +73,24 @@ class CheckpointError(CampaignError):
     """
 
 
+class PipelineError(ReproError):
+    """Error in the staged analysis pipeline (registry, store, runner)."""
+
+
+class DesignRefError(PipelineError):
+    """A design reference could not be resolved to a provider.
+
+    References take the form ``tinycore:<program>``,
+    ``bigcore[@scale=...,seed=...]``, or ``exlif:<path>[@top=...]``;
+    this is raised for unknown schemes, unknown programs, malformed
+    parameter lists, and missing EXLIF files.
+    """
+
+
+class SpecError(PipelineError):
+    """A declarative run-spec file is malformed or inconsistent."""
+
+
 class PassTimeoutError(CampaignError):
     """A campaign pass exceeded its soft timeout budget.
 

@@ -1,0 +1,131 @@
+"""Typed stage artifacts for the analysis pipeline.
+
+The paper's flow is staged — perf-model trace -> ACE lifetime -> port
+pAVFs -> netlist graph -> SART propagation -> report — and each stage
+boundary here gets a frozen dataclass with a stable content fingerprint
+(:mod:`repro.pipeline.fingerprint`). Stage functions
+(:mod:`repro.pipeline.stages`) produce them, the artifact store
+(:mod:`repro.pipeline.store`) persists the expensive ones, and the
+runner (:mod:`repro.pipeline.runner`) wires them together from a
+declarative run-spec.
+
+Artifact types
+--------------
+
+``DesignArtifact``
+    A built design: the netlist :class:`~repro.netlist.netlist.Module`
+    plus whatever design-specific inventory downstream stages need
+    (tinycore netlist + program words, bigcore FUB inventory).
+``GoldenRun``
+    The durable facts of a fault-free gate-level run: cycle count and
+    the architectural observation surface. Both the SART branch (cycle
+    normalization) and the SFI branch (campaign planning) consume it, so
+    one golden run feeds both.
+``PortEnv``
+    The structure port-AVF table SART binds into its environment, with
+    provenance (archsim ACE analysis, the bigcore ACE workload suite, a
+    ports file, or none).
+``PlanArtifact``
+    A lowered :class:`~repro.core.compiled.SolvePlan` — the expensive
+    structural half of a compiled SART run, reusable across sweeps and
+    invocations.
+``SartOutcome``
+    One SART solve: the full :class:`~repro.core.sart.SartResult`.
+``CampaignOutcome``
+    One SFI or beam campaign: the classified outcome set plus the
+    planning context it was derived from.
+
+All artifacts are frozen; ``cached`` records whether the instance was
+loaded from the store (it is excluded from equality/fingerprints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.graphmodel import StructurePorts
+from repro.core.sart import SartResult
+from repro.netlist.netlist import Module
+
+
+@dataclass(frozen=True)
+class DesignArtifact:
+    """A built design plus the inventory downstream stages need."""
+
+    ref: str                     # normalized registry reference
+    kind: str                    # "tinycore" | "bigcore" | "exlif"
+    fingerprint: str
+    module: Module               # flattened analysis target
+    # tinycore: the simulable netlist and its program image.
+    netlist: Any = None          # TinycoreNetlist | None
+    program: tuple[int, ...] | None = None
+    dmem: tuple[int, ...] | None = None
+    program_name: str | None = None
+    # bigcore: the generated design inventory (structure_kinds etc.).
+    design: Any = None           # BigcoreDesign | None
+
+    def describe(self) -> str:
+        return f"{self.ref} [{self.fingerprint[:12]}]"
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """Fault-free gate-level run facts (the SDC observability surface)."""
+
+    fingerprint: str
+    cycles: int
+    outputs: tuple[int, ...]     # lane-0 output-port stream
+    halted: bool                 # lane 0 reached HALT
+    cached: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class PortEnv:
+    """Structure port AVFs bound into the SART environment."""
+
+    fingerprint: str
+    ports: Mapping[str, StructurePorts] | None
+    source: str                  # "archsim" | "ace-suite" | "file" | "none"
+    # archsim provenance (tinycore): ACE fraction of the traced program.
+    ace_fraction: float | None = None
+    # ACE-suite provenance (bigcore): suite size and the rendered
+    # Figure-9-style structure table, so warm runs print the same report.
+    workloads: int = 0
+    ace_table: str | None = None
+    cached: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class PlanArtifact:
+    """A reusable compiled SolvePlan with its provenance fingerprint."""
+
+    fingerprint: str
+    plan: Any                    # repro.core.compiled.SolvePlan
+    cached: bool = field(default=False, compare=False)
+
+    @property
+    def n(self) -> int:
+        return self.plan.n
+
+
+@dataclass(frozen=True)
+class SartOutcome:
+    """One SART solve (propagation + resolution + per-FUB report)."""
+
+    fingerprint: str
+    result: SartResult
+    plan_fingerprint: str | None = None
+    cached: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """One SFI or beam campaign, with its planning context."""
+
+    fingerprint: str
+    kind: str                    # "sfi" | "beam"
+    result: Any                  # CampaignResult | BeamResult
+    injections: int = 0          # planned injections (sfi)
+    golden_cycles: int = 0       # campaign window (sfi)
+    cached: bool = field(default=False, compare=False)

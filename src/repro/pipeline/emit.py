@@ -1,0 +1,115 @@
+"""Shared result-emission layer: human tables and machine summaries.
+
+Every flow renders its results through these helpers — the CLI
+subcommands, the ``run`` spec executor, and tests all use the same code,
+so SART reports, campaign summaries, and ``--export-*`` files are
+emitted identically no matter which entry point produced them. Campaign
+flows gain machine-readable ``--export-json`` here (backed by the
+``to_summary()`` methods on :class:`~repro.sfi.injector.CampaignResult`
+and :class:`~repro.ser.beam.BeamResult`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Mapping
+
+
+def write_json(path: str, payload: Mapping[str, Any]) -> None:
+    """Write a JSON document with stable formatting."""
+    with open(path, "w") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True))
+        handle.write("\n")
+
+
+def print_stats(result, echo: Callable[[str], None] = print) -> None:
+    """The one-line run statistics footer of a SART report."""
+    s = result.stats
+    echo(
+        f"nodes={int(s['nodes'])} sequentials={int(s['sequentials'])} "
+        f"loops={int(s['loop_bits'])} ctrl={int(s['ctrl_bits'])} "
+        f"visited={s['visited_fraction']:.1%} elapsed={result.elapsed_seconds:.2f}s"
+    )
+    if result.trace is not None:
+        echo(
+            f"relaxation: {result.trace.iterations} iterations, "
+            f"converged={result.trace.converged}"
+        )
+
+
+def export_sart(
+    result,
+    *,
+    export_csv: str | None = None,
+    export_fubs: str | None = None,
+    export_json: str | None = None,
+    echo: Callable[[str], None] = print,
+) -> None:
+    """Write the per-node/per-FUB/summary export files a flow asked for."""
+    from repro.core.export import fub_report_csv, node_avfs_csv, summary_json
+
+    if export_csv:
+        with open(export_csv, "w") as handle:
+            handle.write(node_avfs_csv(result))
+        echo(f"wrote per-node AVFs to {export_csv}")
+    if export_fubs:
+        with open(export_fubs, "w") as handle:
+            handle.write(fub_report_csv(result))
+        echo(f"wrote per-FUB report to {export_fubs}")
+    if export_json:
+        with open(export_json, "w") as handle:
+            handle.write(summary_json(result))
+        echo(f"wrote summary to {export_json}")
+
+
+def campaign_summary(outcome, *, program: str | None = None) -> dict:
+    """Machine-readable summary of a CampaignOutcome (sfi or beam)."""
+    payload = dict(outcome.result.to_summary())
+    payload["fingerprint"] = outcome.fingerprint
+    payload["cached"] = outcome.cached
+    if program is not None:
+        payload["program"] = program
+    if outcome.kind == "sfi":
+        payload["planned_injections"] = outcome.injections
+        payload["golden_cycles"] = outcome.golden_cycles
+    return payload
+
+
+def export_campaign_json(
+    outcome,
+    path: str,
+    *,
+    program: str | None = None,
+    echo: Callable[[str], None] = print,
+) -> None:
+    """``--export-json`` for campaign flows (shared sfi/beam emitter)."""
+    write_json(path, campaign_summary(outcome, program=program))
+    echo(f"wrote {outcome.kind} summary to {path}")
+
+
+def print_runtime_summary(
+    failures, pool_restarts, degraded, resumed,
+    echo: Callable[[str], None] = print,
+) -> None:
+    """Fault-tolerant-runtime footer shared by the campaign flows."""
+    if resumed:
+        echo(f"  resumed: {resumed} pass(es) loaded from checkpoint")
+    if pool_restarts or degraded:
+        note = f"  runtime: worker pool respawned {pool_restarts} time(s)"
+        if degraded:
+            note += "; degraded to serial execution"
+        echo(note)
+    if failures:
+        echo(f"  WARNING: {len(failures)} pass(es) failed permanently:")
+        for f in failures[:5]:
+            echo(f"    pass {f.index}: {f.kind} after {f.attempts} "
+                 f"attempt(s): {f.error}")
+        if len(failures) > 5:
+            echo(f"    ... and {len(failures) - 5} more")
+
+
+def cache_note(outcome_events, echo: Callable[[str], None] = print) -> None:
+    """One-line warm-cache note listing which stages were reused."""
+    cached = [e.stage for e in outcome_events if e.cached]
+    if cached:
+        echo(f"cache: reused {', '.join(sorted(set(cached)))} artifact(s)")

@@ -1,0 +1,210 @@
+"""Design registry: uniform providers behind one reference grammar.
+
+Every flow used to hand-roll its own design construction (tinycore
+program lookup + ``build_tinycore``, ``BigcoreConfig`` + generator,
+EXLIF parse + flatten). The registry replaces that with one protocol:
+
+.. code-block:: python
+
+    class DesignProvider(Protocol):
+        ref: str                       # normalized reference string
+        def fingerprint(self) -> str   # content address of the design
+        def build(self) -> DesignArtifact
+
+and one reference grammar resolved by :func:`resolve_design`::
+
+    tinycore:<program>[@parity=1]     e.g.  tinycore:fib
+    bigcore[@key=value,...]           e.g.  bigcore@scale=2,seed=42
+    exlif:<path>[@top=<module>]       e.g.  exlif:designs/core.exlif@top=cpu
+
+Concrete providers for the built-in designs live with the designs
+themselves (:mod:`repro.designs.tinycore.provider`,
+:mod:`repro.designs.bigcore.provider`); external netlists are handled by
+:class:`ExlifProvider` here. Third-party design families can join with
+:func:`register_scheme`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.errors import DesignRefError
+from repro.pipeline.artifacts import DesignArtifact
+from repro.pipeline.fingerprint import stage_fingerprint
+
+
+@runtime_checkable
+class DesignProvider(Protocol):
+    """Anything that can produce a fingerprinted :class:`DesignArtifact`."""
+
+    @property
+    def ref(self) -> str: ...
+
+    def fingerprint(self) -> str: ...
+
+    def build(self) -> DesignArtifact: ...
+
+
+@dataclass(frozen=True)
+class ExlifProvider:
+    """``exlif:<path>[@top=<module>]`` — an external EXLIF netlist.
+
+    The fingerprint hashes the file *content*, so editing the netlist
+    invalidates downstream caches even when the path is unchanged.
+    """
+
+    path: str
+    top: str | None = None
+
+    @property
+    def ref(self) -> str:
+        suffix = f"@top={self.top}" if self.top else ""
+        return f"exlif:{self.path}{suffix}"
+
+    def _text(self) -> str:
+        try:
+            with open(self.path) as handle:
+                return handle.read()
+        except OSError as exc:
+            raise DesignRefError(f"cannot read EXLIF file {self.path!r}: {exc}")
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(self._text().encode()).hexdigest()
+        return stage_fingerprint("design", "exlif", digest, self.top)
+
+    def build(self) -> DesignArtifact:
+        from repro.netlist.exlif import parse_exlif
+        from repro.netlist.flatten import flatten
+
+        modules = parse_exlif(self._text())
+        if self.top:
+            if self.top not in modules:
+                raise DesignRefError(
+                    f"module {self.top!r} not in {self.path!r}; "
+                    f"have {sorted(modules)}"
+                )
+            top = modules[self.top]
+        else:
+            top = next(iter(modules.values()))
+        return DesignArtifact(
+            ref=self.ref,
+            kind="exlif",
+            fingerprint=self.fingerprint(),
+            module=flatten(top, modules),
+        )
+
+
+# ----------------------------------------------------------------------
+# reference parsing
+# ----------------------------------------------------------------------
+
+def _parse_params(text: str, ref: str) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for field in text.split(","):
+        if not field:
+            continue
+        key, eq, value = field.partition("=")
+        if not eq or not key:
+            raise DesignRefError(f"bad design parameter {field!r} in {ref!r}")
+        params[key.strip()] = value.strip()
+    return params
+
+
+def _coerce(params: dict[str, str], key: str, kind: Callable, default):
+    raw = params.pop(key, None)
+    if raw is None:
+        return default
+    try:
+        if kind is bool:
+            return raw.lower() in ("1", "true", "yes", "on")
+        return kind(raw)
+    except ValueError:
+        raise DesignRefError(f"design parameter {key}={raw!r} is not {kind.__name__}")
+
+
+def _reject_unknown(params: dict[str, str], ref: str) -> None:
+    if params:
+        raise DesignRefError(f"unknown design parameter(s) {sorted(params)} in {ref!r}")
+
+
+def _make_tinycore(body: str, params: dict[str, str], ref: str) -> DesignProvider:
+    from repro.designs.tinycore.provider import TinycoreProvider
+
+    if not body:
+        raise DesignRefError(f"{ref!r}: tinycore needs a program (tinycore:<program>)")
+    parity = _coerce(params, "parity", bool, False)
+    _reject_unknown(params, ref)
+    return TinycoreProvider(program=body, parity=parity)
+
+
+def _make_bigcore(body: str, params: dict[str, str], ref: str) -> DesignProvider:
+    from repro.designs.bigcore.core import BigcoreConfig
+    from repro.designs.bigcore.provider import BigcoreProvider
+
+    if body:
+        raise DesignRefError(f"{ref!r}: bigcore takes @key=value parameters only")
+    config = BigcoreConfig(
+        seed=_coerce(params, "seed", int, 42),
+        scale=_coerce(params, "scale", float, 1.0),
+        fub_count=_coerce(params, "fub_count", int, None),
+        feedback_fubs=_coerce(params, "feedback_fubs", int, 3),
+    )
+    _reject_unknown(params, ref)
+    return BigcoreProvider(config=config)
+
+
+def _make_exlif(body: str, params: dict[str, str], ref: str) -> DesignProvider:
+    if not body:
+        raise DesignRefError(f"{ref!r}: exlif needs a path (exlif:<path>)")
+    top = params.pop("top", None)
+    _reject_unknown(params, ref)
+    return ExlifProvider(path=body, top=top)
+
+
+_SCHEMES: dict[str, Callable[[str, dict[str, str], str], DesignProvider]] = {
+    "tinycore": _make_tinycore,
+    "bigcore": _make_bigcore,
+    "exlif": _make_exlif,
+}
+
+
+def register_scheme(
+    name: str, factory: Callable[[str, dict[str, str], str], DesignProvider]
+) -> None:
+    """Register a design scheme: ``factory(body, params, ref) -> provider``."""
+    _SCHEMES[name] = factory
+
+
+def resolve_design(ref: str, **overrides: Any) -> DesignProvider:
+    """Parse a design reference into its provider.
+
+    *overrides* are merged over the reference's ``@key=value`` parameters
+    (CLI flags like ``--scale`` route through here); pass string values.
+    """
+    ref = ref.strip()
+    scheme, colon, rest = ref.partition(":")
+    if not colon:
+        scheme, rest = ref, ""
+    # The parameter block is the last "@..." segment containing "=",
+    # so EXLIF paths with "@" in them still parse.
+    body, at, tail = rest.rpartition("@")
+    if at and "=" in tail:
+        params = _parse_params(tail, ref)
+    else:
+        body, params = rest, {}
+    # Scheme-only refs like "bigcore@scale=2" arrive with the params in
+    # the scheme token; re-split.
+    if "@" in scheme:
+        scheme, _, tail = scheme.partition("@")
+        params = _parse_params(tail, ref)
+    factory = _SCHEMES.get(scheme)
+    if factory is None:
+        raise DesignRefError(
+            f"unknown design scheme {scheme!r} in {ref!r}; have {sorted(_SCHEMES)}"
+        )
+    for key, value in overrides.items():
+        if value is not None:
+            params[str(key)] = str(value)
+    return factory(body, params, ref)

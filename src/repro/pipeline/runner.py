@@ -1,0 +1,204 @@
+"""Run-spec executor: the one flow every subcommand routes through.
+
+:func:`execute` takes a :class:`~repro.pipeline.spec.RunSpec`, resolves
+the design through the registry, and runs exactly the stages the spec
+declares, threading typed artifacts between them and consulting the
+artifact store at every boundary. The CLI subcommands are thin adapters
+that build a spec from flags and render the returned
+:class:`RunOutcome`; ``repro-sart run <spec.toml>`` executes a spec
+straight from disk.
+
+Stage DAG (stages run only when the spec needs them)::
+
+    design ──┬────────────────────────────► plan ──► sart / sweep
+             ├─► golden ──► ports(archsim) ──┘            │
+             │        └────────► sfi ◄────────────────────┘
+             ├─► ports(ace-suite | file) ─┘
+             └─► beam / export
+
+An *observer* callback ``observer(event, info)`` receives progress
+events as stages start/finish, so callers can stream human output in
+the same order the hand-wired flows used to print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sart import SartConfig
+from repro.pipeline.artifacts import (
+    CampaignOutcome,
+    DesignArtifact,
+    GoldenRun,
+    PlanArtifact,
+    PortEnv,
+    SartOutcome,
+)
+from repro.pipeline.registry import resolve_design
+from repro.pipeline.spec import RunSpec, SartSpec, WorkloadsSpec
+from repro.pipeline.stages import (
+    PipelineContext,
+    StageEvent,
+    stage_ace_ports,
+    stage_archsim_ports,
+    stage_beam,
+    stage_design,
+    stage_golden,
+    stage_plan,
+    stage_ports_file,
+    stage_sart,
+    stage_sfi,
+)
+from repro.pipeline.store import ArtifactStore
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated point of the loop-boundary pAVF sweep."""
+
+    value: float
+    result: object               # SartResult
+    seconds: float
+
+
+@dataclass
+class RunOutcome:
+    """Everything one executed run-spec produced."""
+
+    spec: RunSpec
+    design: DesignArtifact
+    golden: GoldenRun | None = None
+    port_env: PortEnv | None = None
+    plan: PlanArtifact | None = None
+    sart: SartOutcome | None = None
+    sweep: list[SweepPoint] = field(default_factory=list)
+    sfi: CampaignOutcome | None = None
+    beam: CampaignOutcome | None = None
+    export_path: str | None = None
+    events: list[StageEvent] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def sart_config(spec: SartSpec) -> SartConfig:
+    """The SartConfig a ``[sart]`` section describes."""
+    return SartConfig(
+        loop_pavf=spec.loop_pavf,
+        partition_by_fub=not spec.monolithic,
+        iterations=spec.iterations,
+        engine=spec.engine,
+        workers=spec.relax_workers,
+    )
+
+
+def _export_design(design: DesignArtifact, export, notify) -> str:
+    if export.format == "exlif":
+        from repro.netlist.exlif import write_exlif
+
+        text = write_exlif(design.module)
+    else:
+        from repro.netlist.verilog import write_verilog
+
+        text, _names = write_verilog(design.module)
+    with open(export.output, "w") as handle:
+        handle.write(text)
+    notify("export", path=export.output, format=export.format,
+           module=design.module)
+    return export.output
+
+
+def execute(
+    spec: RunSpec,
+    *,
+    store: ArtifactStore | None = None,
+    observer=None,
+) -> RunOutcome:
+    """Execute every stage composition *spec* declares."""
+    ctx = PipelineContext(store=store, observer=observer)
+    provider = resolve_design(spec.design)
+    design = stage_design(ctx, provider)
+    outcome = RunOutcome(spec=spec, design=design)
+    stages = spec.stages()
+
+    if spec.export:
+        outcome.export_path = _export_design(design, spec.export, ctx.notify)
+
+    # --- structure ports (and the golden run they may depend on) -------
+    if "sart" in stages or "sweep" in stages:
+        if spec.ports_file:
+            outcome.port_env = stage_ports_file(ctx, spec.ports_file)
+        elif design.kind == "tinycore":
+            outcome.golden = stage_golden(ctx, design)
+            outcome.port_env = stage_archsim_ports(ctx, design, outcome.golden)
+        elif design.kind == "bigcore":
+            workloads = spec.workloads or WorkloadsSpec()
+            outcome.port_env = stage_ace_ports(
+                ctx, design, per_class=workloads.per_class,
+                length=workloads.length,
+            )
+
+    # --- SART report ---------------------------------------------------
+    if "sart" in stages:
+        config = sart_config(spec.sart or SartSpec())
+        if config.engine == "compiled":
+            outcome.plan = stage_plan(ctx, design, outcome.port_env, config)
+        outcome.sart = stage_sart(
+            ctx, design, outcome.port_env, config, outcome.plan
+        )
+
+    # --- Figure-8 loop sweep -------------------------------------------
+    if "sweep" in stages:
+        import time
+
+        from repro.core.sart import run_sart
+
+        if outcome.plan is None:
+            outcome.plan = stage_plan(
+                ctx, design, outcome.port_env, SartConfig()
+            )
+        points = spec.sweep.points
+        ctx.notify("sweep:begin", plan=outcome.plan, points=points)
+        ports = outcome.port_env.ports if outcome.port_env else None
+        for i in range(points):
+            value = i / (points - 1) if points > 1 else 0.0
+            config = SartConfig(loop_pavf=value, partition_by_fub=False)
+            started = time.perf_counter()
+            result = run_sart(design.module, ports, config,
+                              plan=outcome.plan.plan)
+            elapsed = time.perf_counter() - started
+            outcome.sweep.append(SweepPoint(value, result, elapsed))
+            ctx.notify("sweep:point", value=value, result=result,
+                       seconds=elapsed)
+
+    # --- campaigns -----------------------------------------------------
+    if "sfi" in stages:
+        if design.kind != "tinycore":
+            from repro.errors import SpecError
+
+            raise SpecError("the sfi stage needs a tinycore design")
+        if outcome.golden is None:
+            outcome.golden = stage_golden(
+                ctx, design, backend=spec.campaign.backend
+            )
+        outcome.sfi = stage_sfi(
+            ctx, design, outcome.golden, spec.sfi, spec.campaign
+        )
+
+    if "beam" in stages:
+        if design.kind != "tinycore":
+            from repro.errors import SpecError
+
+            raise SpecError("the beam stage needs a tinycore design")
+        beam_design = design
+        if spec.beam.parity and getattr(design.netlist, "due", None) is None:
+            # The beam wants the parity-protected variant but the run's
+            # design is the plain core: resolve the protected sibling.
+            beam_design = stage_design(
+                ctx, resolve_design(spec.design, parity="1")
+            )
+        outcome.beam = stage_beam(ctx, beam_design, spec.beam, spec.campaign)
+
+    outcome.events = ctx.events
+    outcome.cache_hits = ctx.store.hits
+    outcome.cache_misses = ctx.store.misses
+    return outcome

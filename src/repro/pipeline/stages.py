@@ -1,0 +1,450 @@
+"""Stage functions: explicit inputs -> fingerprinted artifacts.
+
+Each function maps upstream artifacts (plus the relevant spec knobs) to
+one typed artifact, computing its cache fingerprint first and consulting
+the :class:`~repro.pipeline.store.ArtifactStore` before doing any work.
+The fingerprint chains the upstream artifact fingerprints, so a change
+anywhere upstream (design config, program image, workload suite, stage
+code version) transparently invalidates everything downstream.
+
+The cache contract per stage:
+
+========  ==========================================================
+stage     keyed on
+========  ==========================================================
+golden    design fingerprint (+ cycle budget); backend-independent —
+          the simulation backends are bit-identical by contract
+ports     design fingerprint + golden cycles (archsim), or the
+          workload-suite signature (ACE suite; design-independent)
+plan      design + port-env fingerprints + the structural SartConfig
+          knobs (:meth:`~repro.core.sart.SartConfig.structural_knobs`)
+sfi/beam  design fingerprint + full campaign plan parameters; skipped
+          when checkpoint/resume is in play and never saved for
+          campaigns that recorded permanent pass failures
+========  ==========================================================
+
+SART solves themselves are *not* persisted: with a cached plan they are
+re-evaluations, which is the paper's own speed story.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping
+
+from repro.core.graphmodel import StructurePorts
+from repro.core.sart import SartConfig, build_plan, run_sart
+from repro.pipeline.artifacts import (
+    CampaignOutcome,
+    DesignArtifact,
+    GoldenRun,
+    PlanArtifact,
+    PortEnv,
+    SartOutcome,
+)
+from repro.pipeline.fingerprint import fingerprint, stage_fingerprint
+from repro.pipeline.spec import BeamSpec, CampaignSpec, SfiSpec
+from repro.pipeline.store import ArtifactStore, NullStore
+
+
+@dataclass
+class StageEvent:
+    """One stage execution record (for observability and tests)."""
+
+    stage: str
+    fingerprint: str
+    cached: bool
+    seconds: float
+
+
+class PipelineContext:
+    """Store + observer + event log shared by one pipeline run."""
+
+    def __init__(self, store: ArtifactStore | None = None, observer=None):
+        self.store = store if store is not None else NullStore()
+        self.observer = observer
+        self.events: list[StageEvent] = []
+
+    # ------------------------------------------------------------------
+    def notify(self, event: str, **info: Any) -> None:
+        if self.observer is not None:
+            self.observer(event, info)
+
+    def memoize(self, stage: str, fp: str, compute: Callable[[], Any],
+                *, cache: bool = True) -> tuple[Any, bool]:
+        """Fetch-or-compute with event recording; returns (obj, cached)."""
+        started = time.perf_counter()
+        if cache:
+            obj, hit = self.store.fetch(stage, fp, compute)
+        else:
+            obj, hit = compute(), False
+        self.events.append(
+            StageEvent(stage, fp, hit, time.perf_counter() - started)
+        )
+        return obj, hit
+
+    def cached_stages(self) -> set[str]:
+        return {e.stage for e in self.events if e.cached}
+
+    def computed_stages(self) -> set[str]:
+        return {e.stage for e in self.events if not e.cached}
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+
+def stage_design(ctx: PipelineContext, provider) -> DesignArtifact:
+    """Build the design (cheap relative to analysis; never persisted)."""
+    started = time.perf_counter()
+    artifact = provider.build()
+    ctx.events.append(
+        StageEvent("design", artifact.fingerprint, False,
+                   time.perf_counter() - started)
+    )
+    ctx.notify("design", artifact=artifact)
+    return artifact
+
+
+def stage_golden(
+    ctx: PipelineContext,
+    design: DesignArtifact,
+    *,
+    backend: str | None = None,
+    max_cycles: int = 100_000,
+) -> GoldenRun:
+    """Fault-free gate-level run of a tinycore design."""
+    fp = stage_fingerprint("golden", design.fingerprint, max_cycles)
+
+    def compute() -> GoldenRun:
+        from repro.designs.tinycore.harness import run_gate_level
+        from repro.rtlsim.backends import DEFAULT_BACKEND
+
+        run = run_gate_level(
+            list(design.program), list(design.dmem) if design.dmem else None,
+            netlist=design.netlist, max_cycles=max_cycles,
+            backend=backend or DEFAULT_BACKEND,
+        )
+        return GoldenRun(
+            fingerprint=fp,
+            cycles=run.cycles,
+            outputs=tuple(run.outputs.get(0, ())),
+            halted=0 in run.halted_lanes,
+        )
+
+    golden, hit = ctx.memoize("golden", fp, compute)
+    if hit:
+        golden = replace(golden, cached=True)
+    ctx.notify("golden", golden=golden)
+    return golden
+
+
+def stage_archsim_ports(
+    ctx: PipelineContext, design: DesignArtifact, golden: GoldenRun
+) -> PortEnv:
+    """ACE-analyze a tinycore program -> SART-ready structure ports."""
+    fp = stage_fingerprint("ports", "archsim", design.fingerprint, golden.cycles)
+
+    def compute() -> PortEnv:
+        from repro.designs.tinycore.archsim import tinycore_structure_ports
+
+        ports, trace, _ = tinycore_structure_ports(
+            design.program_name, list(design.program),
+            list(design.dmem) if design.dmem else None,
+            gate_cycles=golden.cycles,
+        )
+        return PortEnv(
+            fingerprint=fp, ports=ports, source="archsim",
+            ace_fraction=trace.ace_fraction(),
+        )
+
+    env, hit = ctx.memoize("ports", fp, compute)
+    if hit:
+        env = replace(env, cached=True)
+    ctx.notify("ports", port_env=env)
+    return env
+
+
+def stage_ace_ports(
+    ctx: PipelineContext,
+    design: DesignArtifact,
+    *,
+    per_class: int,
+    length: int,
+) -> PortEnv:
+    """Run the ACE workload suite and map its ports onto the design.
+
+    The expensive half (the suite itself) is design-independent and
+    cached on the suite signature alone; the per-array mapping is cheap
+    and recomputed against the design at hand.
+    """
+    from repro.workloads.suite import suite_signature
+
+    signature = suite_signature(per_class, length)
+    ace_fp = stage_fingerprint("ace", signature, True)  # bitwise=True
+
+    def compute_suite():
+        from repro.ace.portavf import suite_ports_and_table
+        from repro.workloads import default_suite
+
+        traces = default_suite(per_class=per_class, length=length)
+        model_ports, table = suite_ports_and_table(traces)
+        return {"model_ports": model_ports, "table": table}
+
+    n_workloads = len(signature)
+    started = time.perf_counter()
+    suite = ctx.store.load("ace", ace_fp)
+    hit = suite is not None
+    if hit:
+        ctx.store.hits += 1
+        ctx.notify("ace:cached", workloads=n_workloads, fingerprint=ace_fp)
+    else:
+        ctx.store.misses += 1
+        ctx.notify("ace:run", workloads=n_workloads)
+        suite = compute_suite()
+        try:
+            ctx.store.save("ace", ace_fp, suite)
+        except Exception:
+            pass
+    ctx.events.append(
+        StageEvent("ace", ace_fp, hit, time.perf_counter() - started)
+    )
+
+    from repro.designs.bigcore import map_structure_ports
+
+    mapped = map_structure_ports(design.design, suite["model_ports"])
+    env = PortEnv(
+        fingerprint=fingerprint("ports", "ace-suite", ace_fp, design.fingerprint),
+        ports=mapped,
+        source="ace-suite",
+        workloads=n_workloads,
+        ace_table=suite["table"],
+        cached=hit,
+    )
+    ctx.notify("ports", port_env=env)
+    return env
+
+
+def stage_ports_file(ctx: PipelineContext, path: str) -> PortEnv:
+    """Load a ``name pavf_r pavf_w [avf]`` structure-port table."""
+    started = time.perf_counter()
+    ports: dict[str, StructurePorts] = {}
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) not in (3, 4):
+                raise SystemExit(
+                    f"{path}:{lineno}: expected 'name pavf_r pavf_w [avf]'"
+                )
+            name = fields[0]
+            avf = float(fields[3]) if len(fields) == 4 else None
+            ports[name] = StructurePorts(
+                name=name, pavf_r=float(fields[1]), pavf_w=float(fields[2]), avf=avf
+            )
+    table = sorted(
+        (p.name, float(p.pavf_r), float(p.pavf_w), p.avf) for p in ports.values()
+    )
+    env = PortEnv(
+        fingerprint=fingerprint("ports", "file", table), ports=ports, source="file"
+    )
+    ctx.events.append(
+        StageEvent("ports", env.fingerprint, False, time.perf_counter() - started)
+    )
+    ctx.notify("ports", port_env=env)
+    return env
+
+
+def stage_plan(
+    ctx: PipelineContext,
+    design: DesignArtifact,
+    port_env: PortEnv | None,
+    config: SartConfig,
+) -> PlanArtifact:
+    """Lower the design once into a reusable compiled SolvePlan."""
+    env_fp = port_env.fingerprint if port_env is not None else None
+    fp = stage_fingerprint(
+        "plan", design.fingerprint, env_fp, config.structural_knobs()
+    )
+
+    def compute():
+        ports = port_env.ports if port_env is not None else None
+        return build_plan(design.module, ports, config)
+
+    started = time.perf_counter()
+    plan, hit = ctx.memoize("plan", fp, compute)
+    artifact = PlanArtifact(fingerprint=fp, plan=plan, cached=hit)
+    ctx.notify("plan", plan=artifact, seconds=time.perf_counter() - started)
+    return artifact
+
+
+def stage_sart(
+    ctx: PipelineContext,
+    design: DesignArtifact,
+    port_env: PortEnv | None,
+    config: SartConfig,
+    plan: PlanArtifact | None = None,
+) -> SartOutcome:
+    """One SART solve (propagation + resolution); never persisted."""
+    started = time.perf_counter()
+    ports = port_env.ports if port_env is not None else None
+    if plan is not None:
+        result = run_sart(design.module, ports, config, plan=plan.plan)
+    else:
+        result = run_sart(design.module, ports, config)
+    fp = fingerprint(
+        "sart",
+        plan.fingerprint if plan is not None else design.fingerprint,
+        port_env.fingerprint if port_env is not None else None,
+        config.loop_pavf, config.iterations, config.partition_by_fub,
+        config.engine, config.max_terms, config.dangling,
+    )
+    outcome = SartOutcome(
+        fingerprint=fp,
+        result=result,
+        plan_fingerprint=plan.fingerprint if plan is not None else None,
+    )
+    ctx.events.append(
+        StageEvent("sart", fp, False, time.perf_counter() - started)
+    )
+    ctx.notify("sart", outcome=outcome)
+    return outcome
+
+
+def _runtime_options(campaign: CampaignSpec):
+    from repro.sfi.runtime import RuntimeOptions
+
+    checkpoint = campaign.checkpoint or campaign.resume
+    return RuntimeOptions(
+        max_retries=campaign.max_retries,
+        pass_timeout=campaign.pass_timeout,
+        checkpoint=checkpoint,
+        resume=campaign.resume,
+        max_pool_restarts=campaign.max_pool_restarts,
+    )
+
+
+def stage_sfi(
+    ctx: PipelineContext,
+    design: DesignArtifact,
+    golden: GoldenRun,
+    spec: SfiSpec,
+    campaign: CampaignSpec,
+    *,
+    max_cycles: int = 100_000,
+) -> CampaignOutcome:
+    """Plan and execute a statistical fault-injection campaign."""
+    from repro.netlist.graph import extract_graph
+    from repro.rtlsim.backends import DEFAULT_BACKEND
+    from repro.sfi import plan_campaign, run_sfi_campaign
+    from repro.sfi.campaign import resolve_lanes_per_pass
+
+    backend = campaign.backend or DEFAULT_BACKEND
+    lanes = resolve_lanes_per_pass(campaign.lanes_per_pass, backend)
+    seqs = extract_graph(design.netlist.module).seq_nets()
+    plans = plan_campaign(
+        seqs, golden.cycles - 2, spec.injections, seed=spec.seed,
+        per_node=spec.per_node,
+    )
+    fp = stage_fingerprint(
+        "sfi", design.fingerprint, golden.cycles, spec.injections, spec.seed,
+        spec.per_node, max_cycles, lanes,
+    )
+
+    def compute():
+        return run_sfi_campaign(
+            list(design.program), list(design.dmem) if design.dmem else None,
+            plans, netlist=design.netlist, backend=backend,
+            workers=campaign.workers, lanes_per_pass=campaign.lanes_per_pass,
+            max_cycles=max_cycles, runtime=_runtime_options(campaign),
+        )
+
+    # Checkpoint/resume semantics belong to the campaign runtime; a
+    # cache hit would silently bypass them, so opt out entirely.
+    use_cache = not (campaign.checkpoint or campaign.resume)
+    started = time.perf_counter()
+    if use_cache:
+        result = ctx.store.load("sfi", fp)
+        hit = result is not None
+        if hit:
+            ctx.store.hits += 1
+        else:
+            ctx.store.misses += 1
+            result = compute()
+            if not result.failures:
+                try:
+                    ctx.store.save("sfi", fp, result)
+                except Exception:
+                    pass
+    else:
+        result, hit = compute(), False
+    ctx.events.append(StageEvent("sfi", fp, hit, time.perf_counter() - started))
+    outcome = CampaignOutcome(
+        fingerprint=fp, kind="sfi", result=result,
+        injections=len(plans), golden_cycles=golden.cycles, cached=hit,
+    )
+    ctx.notify("sfi", outcome=outcome)
+    return outcome
+
+
+def stage_beam(
+    ctx: PipelineContext,
+    design: DesignArtifact,
+    spec: BeamSpec,
+    campaign: CampaignSpec,
+    *,
+    max_cycles: int = 100_000,
+) -> CampaignOutcome:
+    """Run a simulated accelerated beam test."""
+    from repro.rtlsim.backends import DEFAULT_BACKEND
+    from repro.ser.beam import BeamConfig, run_beam_test
+    from repro.sfi.campaign import resolve_lanes_per_pass
+
+    backend = campaign.backend or DEFAULT_BACKEND
+    lanes = resolve_lanes_per_pass(
+        campaign.lanes_per_pass if campaign.lanes_per_pass is not None else 63,
+        backend,
+    )
+    config = BeamConfig(
+        flux=spec.flux, exposures=spec.exposures, seed=spec.seed,
+        lanes_per_pass=campaign.lanes_per_pass if campaign.lanes_per_pass
+        is not None else 63,
+        max_cycles=max_cycles,
+        include_arrays=spec.include_arrays, parity=spec.parity,
+    )
+    fp = stage_fingerprint(
+        "beam", design.fingerprint, spec.flux, spec.exposures, spec.seed,
+        spec.include_arrays, spec.parity, max_cycles, lanes,
+    )
+
+    def compute():
+        return run_beam_test(
+            list(design.program), list(design.dmem) if design.dmem else None,
+            config, netlist=design.netlist, backend=backend,
+            workers=campaign.workers, runtime=_runtime_options(campaign),
+        )
+
+    use_cache = not (campaign.checkpoint or campaign.resume)
+    started = time.perf_counter()
+    if use_cache:
+        result = ctx.store.load("beam", fp)
+        hit = result is not None
+        if hit:
+            ctx.store.hits += 1
+        else:
+            ctx.store.misses += 1
+            result = compute()
+            if not result.failures:
+                try:
+                    ctx.store.save("beam", fp, result)
+                except Exception:
+                    pass
+    else:
+        result, hit = compute(), False
+    ctx.events.append(StageEvent("beam", fp, hit, time.perf_counter() - started))
+    outcome = CampaignOutcome(fingerprint=fp, kind="beam", result=result, cached=hit)
+    ctx.notify("beam", outcome=outcome)
+    return outcome

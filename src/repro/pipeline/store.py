@@ -1,0 +1,151 @@
+"""Content-addressed on-disk artifact store.
+
+Layout (one directory per stage, one pickle per fingerprint)::
+
+    <cache-dir>/
+        golden/<sha256>.pkl        + <sha256>.json   (metadata sidecar)
+        ace/<sha256>.pkl           ...
+        plan/<sha256>.pkl
+        sfi/<sha256>.pkl
+        beam/<sha256>.pkl
+
+The fingerprint *is* the address: it already encodes the design config,
+program, workload suite, stage knobs, and stage code version
+(:mod:`repro.pipeline.fingerprint`), so a lookup is a single ``open``
+and "invalidation" is simply a key that no longer matches. Writes are
+atomic (temp file + ``os.replace``), so a crashed run never leaves a
+half-written artifact behind; unreadable or corrupt entries are treated
+as misses and quietly recomputed.
+
+The sidecar JSON records what produced each blob (stage, fingerprint,
+repro version, creation time) for ``repro-sart``-independent inspection
+and cleanup; it is never read on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import repro
+
+_STAGE_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
+
+
+class ArtifactStore:
+    """Pickle-backed content-addressed store rooted at *root*.
+
+    ``hits``/``misses`` count ``fetch`` outcomes for observability (the
+    warm-cache smoke test and ``BENCH_pipeline.json`` read them).
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path(self, stage: str, fingerprint: str) -> Path:
+        if not stage or not set(stage) <= _STAGE_OK:
+            raise ValueError(f"bad stage name {stage!r}")
+        if not fingerprint or not all(c in "0123456789abcdef" for c in fingerprint):
+            raise ValueError(f"bad fingerprint {fingerprint!r}")
+        return self.root / stage / f"{fingerprint}.pkl"
+
+    def load(self, stage: str, fingerprint: str) -> Any | None:
+        """Return the cached artifact, or None on miss/corruption."""
+        path = self.path(stage, fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt/truncated/unreadable entry: drop it and recompute.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def save(self, stage: str, fingerprint: str, obj: Any) -> Path:
+        """Atomically persist *obj* under its fingerprint."""
+        path = self.path(stage, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        meta = {
+            "stage": stage,
+            "fingerprint": fingerprint,
+            "repro_version": repro.__version__,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "bytes": path.stat().st_size,
+        }
+        path.with_suffix(".json").write_text(json.dumps(meta, indent=2) + "\n")
+        return path
+
+    def fetch(
+        self, stage: str, fingerprint: str, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Load the artifact or compute-and-save it; returns (obj, hit)."""
+        obj = self.load(stage, fingerprint)
+        if obj is not None:
+            self.hits += 1
+            return obj, True
+        self.misses += 1
+        obj = compute()
+        try:
+            self.save(stage, fingerprint, obj)
+        except (OSError, pickle.PicklingError):
+            # A read-only or full cache dir degrades to pass-through.
+            pass
+        return obj, False
+
+    def entries(self) -> list[tuple[str, str]]:
+        """All (stage, fingerprint) pairs currently on disk."""
+        out: list[tuple[str, str]] = []
+        if not self.root.is_dir():
+            return out
+        for stage_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for blob in sorted(stage_dir.glob("*.pkl")):
+                out.append((stage_dir.name, blob.stem))
+        return out
+
+
+class NullStore:
+    """Cache-disabled stand-in with the same fetch interface."""
+
+    root = None
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def load(self, stage: str, fingerprint: str) -> None:
+        return None
+
+    def save(self, stage: str, fingerprint: str, obj: Any) -> None:
+        return None
+
+    def fetch(
+        self, stage: str, fingerprint: str, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        self.misses += 1
+        return compute(), False
+
+    def entries(self) -> list[tuple[str, str]]:
+        return []

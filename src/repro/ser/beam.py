@@ -98,6 +98,28 @@ class BeamResult:
         margin = z * math.sqrt(max(n, 1))
         return (max(0.0, (n - margin)) / total_cycles, (n + margin) / total_cycles)
 
+    def to_summary(self) -> dict:
+        """Machine-readable beam summary (shared result-emission layer)."""
+        lo, hi = self.rate_interval()
+        return {
+            "kind": "beam",
+            "exposures": self.exposures,
+            "cycles_per_run": self.cycles_per_run,
+            "strikes": self.strikes,
+            "storage_bits": self.storage_bits,
+            "flux": self.flux,
+            "sdc_events": self.sdc_events,
+            "due_events": self.due_events,
+            "sdc_rate_per_cycle": self.sdc_rate_per_cycle,
+            "sdc_rate_interval": [lo, hi],
+            "due_rate_per_cycle": self.due_rate_per_cycle,
+            "elapsed_seconds": self.elapsed_seconds,
+            "failed_passes": len(self.failures),
+            "pool_restarts": self.pool_restarts,
+            "degraded": self.degraded,
+            "resumed_passes": self.resumed_passes,
+        }
+
 
 @dataclass(frozen=True)
 class BeamStrike:

@@ -74,6 +74,29 @@ class CampaignResult:
             return 0.0
         return sum(1 for o in self.outcomes if o.counts_as_error) / len(self.outcomes)
 
+    def to_summary(self) -> dict:
+        """Machine-readable campaign summary (shared result-emission layer)."""
+        from repro.sfi.results import overall_avf
+
+        avf, (lo, hi) = overall_avf(self.outcomes)
+        return {
+            "kind": "sfi",
+            "injections": len(self.outcomes),
+            "counts": self.counts(),
+            "sdc_avf": avf,
+            "sdc_avf_interval": [lo, hi],
+            "due_avf": self.due_avf(),
+            "passes": self.passes,
+            "simulated_cycles": self.simulated_cycles,
+            "elapsed_seconds": self.elapsed_seconds,
+            "backend": self.backend,
+            "workers": self.workers,
+            "failed_passes": len(self.failures),
+            "pool_restarts": self.pool_restarts,
+            "degraded": self.degraded,
+            "resumed_passes": self.resumed_passes,
+        }
+
 
 @dataclass
 class _SfiPayload:

@@ -87,6 +87,19 @@ def make_suite(per_class: int = 6, length: int = 10_000, base_seed: int = 100):
     return specs
 
 
+def suite_signature(per_class: int = 6, length: int = 10_000, base_seed: int = 100):
+    """Canonical description of the suite for cache fingerprints.
+
+    Returns one tuple per workload covering every generator-relevant
+    field of its :class:`WorkloadSpec`, so the pipeline's ACE-suite
+    cache key changes whenever the suite templates, seeding, sizing, or
+    class set change — and only then.
+    """
+    from dataclasses import astuple
+
+    return [astuple(spec) for spec in make_suite(per_class, length, base_seed)]
+
+
 def default_suite(per_class: int = 6, length: int = 10_000):
     """Generate the default suite's traces (48 workloads by default)."""
     return [generate_trace(spec) for spec in make_suite(per_class, length)]

@@ -1,0 +1,119 @@
+"""Warm-cache behavior: hits, misses, and fingerprint invalidation."""
+
+import re
+
+from repro.cli import main
+from repro.pipeline import (
+    ArtifactStore,
+    CampaignSpec,
+    RunSpec,
+    SfiSpec,
+    WorkloadsSpec,
+    execute,
+)
+
+BIGCORE = ["bigcore", "--scale", "0.1", "--workloads-per-class", "1",
+           "--workload-length", "400"]
+
+
+def _strip_timing(text: str) -> str:
+    return re.sub(r"elapsed=\d+\.\d+s", "elapsed=T", text)
+
+
+def test_bigcore_warm_cache_cli(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(BIGCORE + ["--cache-dir", cache]) == 0
+    cold = capsys.readouterr().out
+    assert "running 8 workloads" in cold
+
+    assert main(BIGCORE + ["--cache-dir", cache]) == 0
+    warm = capsys.readouterr().out
+    assert "ACE suite: 8 workloads reused from cache" in warm
+    assert "running" not in warm
+
+    # Numeric output is identical either way.
+    skip = ("running", "ACE suite")
+    cold_rows = [l for l in _strip_timing(cold).splitlines()
+                 if not l.startswith(skip)]
+    warm_rows = [l for l in _strip_timing(warm).splitlines()
+                 if not l.startswith(skip)]
+    assert cold_rows == warm_rows
+
+    store = ArtifactStore(cache)
+    stages = {stage for stage, _ in store.entries()}
+    assert stages == {"ace", "plan"}
+
+
+def test_bigcore_warm_cache_events(tmp_path):
+    spec = RunSpec(design="bigcore@scale=0.1",
+                   workloads=WorkloadsSpec(per_class=1, length=400))
+    store = ArtifactStore(tmp_path / "cache")
+    cold = execute(spec, store=store)
+    assert not any(e.cached for e in cold.events)
+    assert cold.cache_misses >= 2  # ace + plan
+
+    store = ArtifactStore(tmp_path / "cache")
+    warm = execute(spec, store=store)
+    assert {e.stage for e in warm.events if e.cached} == {"ace", "plan"}
+    assert warm.cache_hits == 2 and warm.cache_misses == 0
+    assert (warm.sart.result.report.table()
+            == cold.sart.result.report.table())
+
+
+def test_fingerprint_invalidation_on_design_change(tmp_path):
+    cache = tmp_path / "cache"
+    base = RunSpec(design="bigcore@scale=0.1",
+                   workloads=WorkloadsSpec(per_class=1, length=400))
+    execute(base, store=ArtifactStore(cache))
+
+    # A different scale shares the (design-independent) ACE suite but
+    # must re-lower the plan.
+    scaled = RunSpec(design="bigcore@scale=0.15",
+                     workloads=WorkloadsSpec(per_class=1, length=400))
+    outcome = execute(scaled, store=ArtifactStore(cache))
+    cached = {e.stage for e in outcome.events if e.cached}
+    assert "ace" in cached
+    assert "plan" not in cached
+
+    # A different workload suite invalidates the ACE entry too.
+    reworked = RunSpec(design="bigcore@scale=0.1",
+                       workloads=WorkloadsSpec(per_class=1, length=500))
+    outcome = execute(reworked, store=ArtifactStore(cache))
+    assert not any(e.stage == "ace" and e.cached for e in outcome.events)
+
+    store = ArtifactStore(cache)
+    stages = [stage for stage, _ in store.entries()]
+    assert stages.count("ace") == 2
+    assert stages.count("plan") == 3
+
+
+def test_tinycore_sfi_warm_cache(tmp_path):
+    spec = RunSpec(design="tinycore:fib",
+                   sfi=SfiSpec(injections=15, seed=1))
+    cache = tmp_path / "cache"
+    cold = execute(spec, store=ArtifactStore(cache))
+    warm = execute(spec, store=ArtifactStore(cache))
+    assert {e.stage for e in warm.events if e.cached} == {"golden", "sfi"}
+    assert warm.golden.cached and warm.sfi.cached
+    assert warm.sfi.result.counts() == cold.sfi.result.counts()
+    # a different seed re-runs the campaign but keeps the golden run
+    reseeded = RunSpec(design="tinycore:fib",
+                       sfi=SfiSpec(injections=15, seed=2))
+    outcome = execute(reseeded, store=ArtifactStore(cache))
+    cached = {e.stage for e in outcome.events if e.cached}
+    assert cached == {"golden"}
+
+
+def test_checkpoint_bypasses_campaign_cache(tmp_path):
+    cache = tmp_path / "cache"
+    ckpt = str(tmp_path / "ckpt.json")
+    spec = RunSpec(design="tinycore:fib", sfi=SfiSpec(injections=10, seed=1),
+                   campaign=CampaignSpec(checkpoint=ckpt))
+    execute(spec, store=ArtifactStore(cache))
+    resumed = RunSpec(design="tinycore:fib",
+                      sfi=SfiSpec(injections=10, seed=1),
+                      campaign=CampaignSpec(resume=ckpt))
+    outcome = execute(resumed, store=ArtifactStore(cache))
+    # golden may hit, but the campaign itself must re-run
+    assert not outcome.sfi.cached
+    assert "sfi" not in {s for s, _ in ArtifactStore(cache).entries()}

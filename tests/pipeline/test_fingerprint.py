@@ -1,0 +1,61 @@
+"""Fingerprint scheme: stability, sensitivity, and stage versioning."""
+
+import pytest
+
+from repro.pipeline.fingerprint import (
+    STAGE_VERSIONS,
+    fingerprint,
+    stage_fingerprint,
+    stage_token,
+)
+
+
+def test_fingerprint_is_stable():
+    a = fingerprint("design", {"scale": 2.0, "seed": 42}, [1, 2, 3])
+    b = fingerprint("design", {"seed": 42, "scale": 2.0}, [1, 2, 3])
+    assert a == b  # dict ordering must not matter
+    assert len(a) == 64 and all(c in "0123456789abcdef" for c in a)
+
+
+def test_fingerprint_sensitivity():
+    base = fingerprint("golden", 166, "fib")
+    assert fingerprint("golden", 167, "fib") != base
+    assert fingerprint("golden", "fib", 166) != base  # order matters
+    assert fingerprint("golden", 166, "fib", None) != base
+
+
+def test_fingerprint_distinguishes_types():
+    # 1 vs 1.0 vs "1" must not collide: floats are tagged f:{repr}.
+    assert fingerprint(1) != fingerprint(1.0)
+    assert fingerprint(1) != fingerprint("1")
+    assert fingerprint(0.1) == fingerprint(0.1)
+
+
+def test_fingerprint_handles_containers():
+    assert fingerprint((1, 2)) == fingerprint([1, 2])
+    assert fingerprint({1, 2, 3}) == fingerprint({3, 2, 1})
+    assert fingerprint(b"abc") == fingerprint(b"abc")
+    assert fingerprint(b"abc") != fingerprint("abc")
+
+
+def test_fingerprint_rejects_opaque_objects():
+    with pytest.raises(TypeError, match="cannot fingerprint"):
+        fingerprint(object())
+
+
+def test_stage_token_includes_version():
+    token = stage_token("golden")
+    assert token.startswith("golden.v")
+    assert "+repro-" in token
+    with pytest.raises(ValueError, match="unknown pipeline stage"):
+        stage_token("nonsense")
+
+
+def test_stage_version_bump_invalidates(monkeypatch):
+    before = stage_fingerprint("plan", "x")
+    monkeypatch.setitem(STAGE_VERSIONS, "plan", STAGE_VERSIONS["plan"] + 1)
+    assert stage_fingerprint("plan", "x") != before
+
+
+def test_stage_fingerprints_never_collide_across_stages():
+    assert stage_fingerprint("sfi", 1) != stage_fingerprint("beam", 1)

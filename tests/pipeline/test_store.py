@@ -1,0 +1,72 @@
+"""Artifact store: roundtrip, miss, corruption, and counter semantics."""
+
+import pytest
+
+from repro.pipeline.store import ArtifactStore, NullStore
+
+FP = "ab" * 32
+
+
+def test_roundtrip(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.save("golden", FP, {"cycles": 166})
+    assert store.load("golden", FP) == {"cycles": 166}
+    assert store.entries() == [("golden", FP)]
+
+
+def test_miss_returns_none(tmp_path):
+    store = ArtifactStore(tmp_path)
+    assert store.load("golden", FP) is None
+
+
+def test_corrupt_entry_is_a_miss_and_is_dropped(tmp_path):
+    store = ArtifactStore(tmp_path)
+    path = store.path("plan", FP)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"this is not a pickle")
+    assert store.load("plan", FP) is None
+    assert not path.exists()  # corrupt blob removed
+
+
+def test_fetch_counts_hits_and_misses(tmp_path):
+    store = ArtifactStore(tmp_path)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return [1, 2, 3]
+
+    obj, hit = store.fetch("ace", FP, compute)
+    assert (obj, hit, len(calls)) == ([1, 2, 3], False, 1)
+    obj, hit = store.fetch("ace", FP, compute)
+    assert (obj, hit, len(calls)) == ([1, 2, 3], True, 1)
+    assert (store.hits, store.misses) == (1, 1)
+
+
+def test_metadata_sidecar(tmp_path):
+    import json
+
+    store = ArtifactStore(tmp_path)
+    path = store.save("sfi", FP, "payload")
+    meta = json.loads(path.with_suffix(".json").read_text())
+    assert meta["stage"] == "sfi"
+    assert meta["fingerprint"] == FP
+    assert meta["bytes"] == path.stat().st_size
+
+
+def test_rejects_unsafe_keys(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.path("../evil", FP)
+    with pytest.raises(ValueError):
+        store.path("golden", "../../etc/passwd")
+
+
+def test_null_store_never_caches():
+    store = NullStore()
+    obj, hit = store.fetch("golden", FP, lambda: 42)
+    assert (obj, hit) == (42, False)
+    store.save("golden", FP, 42)
+    assert store.load("golden", FP) is None
+    assert store.entries() == []
+    assert (store.hits, store.misses) == (0, 1)

@@ -171,3 +171,69 @@ def test_beam_keyboard_interrupt_exits_130_without_checkpoint(monkeypatch, capsy
     err = capsys.readouterr().err
     assert rc == 130
     assert "progress was not saved" in err
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_sfi_export_json(tmp_path, capsys):
+    out = tmp_path / "sfi.json"
+    rc = main(["sfi", "fib", "--injections", "20",
+               "--export-json", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["kind"] == "sfi"
+    assert payload["program"] == "fib"
+    assert payload["planned_injections"] == 20
+    assert 0.0 <= payload["sdc_avf"] <= 1.0
+    assert payload["counts"]["masked"] + payload["counts"]["sdc"] + \
+        payload["counts"]["due"] + payload["counts"]["unknown"] == 20
+    # the human line and the JSON agree
+    human = capsys.readouterr().out
+    assert f"SDC AVF={payload['sdc_avf']:.3f}" in human
+
+
+def test_beam_export_json(tmp_path):
+    out = tmp_path / "beam.json"
+    rc = main(["beam", "fib", "--exposures", "6",
+               "--export-json", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["kind"] == "beam"
+    assert payload["exposures"] == 6
+    assert payload["strikes"] >= 0
+    assert "sdc_rate_per_cycle" in payload and "fingerprint" in payload
+
+
+def test_sweep_workloads_per_class_flag(capsys):
+    rc = main(["sweep", "--points", "2", "--scale", "0.1",
+               "--workloads-per-class", "1", "--workload-length", "400"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    rows = [l for l in out.splitlines() if l.lstrip()[:1].isdigit()]
+    assert len(rows) == 2
+
+
+def test_run_subcommand_bad_spec(tmp_path, capsys):
+    spec = tmp_path / "bad.toml"
+    spec.write_text('design = "tinycore:fib"\n[nonsense]\nx = 1\n')
+    with pytest.raises(SystemExit, match="unknown section"):
+        main(["run", str(spec)])
+
+
+def test_run_subcommand_export_json(tmp_path):
+    spec = tmp_path / "tiny.toml"
+    spec.write_text('design = "tinycore:fib"\n')
+    out = tmp_path / "summary.json"
+    rc = main(["run", str(spec), "--export-json", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["design"] == "tinycore:fib"
+    assert "sart" in payload["stages"]
+    assert 0.0 <= payload["weighted_seq_avf"] <= 1.0

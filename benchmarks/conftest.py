@@ -19,6 +19,14 @@ from pathlib import Path
 import pytest
 
 from repro.ace.portavf import suite_ports
+
+
+def pytest_collection_modifyitems(items):
+    # Everything under benchmarks/ is a performance test; the marker is
+    # registered in pyproject.toml so `-m bench` / `-m "not bench"`
+    # select cleanly when benchmarks are collected alongside tests/.
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
 from repro.workloads import default_suite
 

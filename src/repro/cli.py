@@ -35,6 +35,11 @@ Subcommands:
 ``run``
     Execute a declarative TOML/JSON run-spec describing any composition
     of stages (docs/ARCHITECTURE.md documents the format).
+``verify``
+    Adversarial self-check: budgeted fuzz loop over randomized designs
+    and circuits with cross-engine / cross-backend / metamorphic /
+    statistical oracles, plus the golden regression corpus. Failing
+    cases are shrunk to minimal reproducers (docs/TESTING.md).
 """
 
 from __future__ import annotations
@@ -462,6 +467,62 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.verify import (
+        VerifyOptions,
+        bless_goldens,
+        default_oracles,
+        get_defect,
+        replay,
+        run_verify,
+    )
+
+    if args.list_oracles:
+        for oracle in default_oracles():
+            print(f"{oracle.name:18s} [{oracle.scope}]")
+        return 0
+
+    options = VerifyOptions(
+        budget=args.budget,
+        seed=args.seed,
+        out_dir=Path(args.out),
+        corpus_dir=Path(args.corpus) if args.corpus else None,
+        oracle_names=tuple(args.oracle or ()),
+        skip_global=args.no_sfi,
+        skip_corpus=args.no_corpus,
+        sfi_injections=args.sfi_injections,
+    )
+    if args.update_goldens:
+        bless_goldens(options, log=print)
+        print("goldens regenerated; review with "
+              "`git diff src/repro/verify/corpus/`")
+        return 0
+
+    defect = get_defect(args.inject_defect) if args.inject_defect else None
+    if defect is not None:
+        print(f"injecting defect {defect.name!r}: {defect.description}")
+
+    if args.replay:
+        report = replay(Path(args.replay), options, defect=defect, log=print)
+    else:
+        report = run_verify(options, defect=defect, log=print)
+
+    if report.violations:
+        print(f"\n{len(report.violations)} violation(s):", file=sys.stderr)
+        for v in report.violations[:20]:
+            print(f"  {v}", file=sys.stderr)
+        if len(report.violations) > 20:
+            print(f"  ... and {len(report.violations) - 20} more",
+                  file=sys.stderr)
+        for path in report.reproducers:
+            print(f"reproducer: {path}", file=sys.stderr)
+        return 1
+    print("all oracles clean")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -617,6 +678,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a machine-readable summary of the whole run")
     cache_opts(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "verify",
+        help="adversarial self-check: fuzz + oracles + golden corpus")
+    p.add_argument("--budget", type=float, default=60.0, metavar="SEC",
+                   help="fuzz wall-clock budget in seconds (default 60)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fuzz RNG seed (default 0)")
+    p.add_argument("--out", default="verify-failures", metavar="DIR",
+                   help="where shrunk reproducers are written")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="golden corpus directory (default: the shipped "
+                        "corpus in src/repro/verify/corpus/)")
+    p.add_argument("--oracle", action="append", metavar="NAME",
+                   help="run only this oracle (repeatable; "
+                        "see --list-oracles)")
+    p.add_argument("--list-oracles", action="store_true",
+                   help="list the shipped oracles and exit")
+    p.add_argument("--update-goldens", action="store_true",
+                   help="regenerate the golden corpus expectations and "
+                        "exit (review the git diff before committing)")
+    p.add_argument("--no-sfi", action="store_true",
+                   help="skip the SFI-vs-analytical tinycore check")
+    p.add_argument("--no-corpus", action="store_true",
+                   help="skip the golden corpus check")
+    p.add_argument("--sfi-injections", type=int, default=192, metavar="N",
+                   help="injection count for the SFI consistency oracle")
+    p.add_argument("--inject-defect", metavar="NAME",
+                   help="mutation-kill mode: corrupt one engine seam and "
+                        "prove the matching oracle catches it (CI uses "
+                        "this as a must-fail check)")
+    p.add_argument("--replay", metavar="PATH",
+                   help="re-run the oracles recorded in a reproducer file")
+    p.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -91,6 +91,16 @@ class SpecError(PipelineError):
     """A declarative run-spec file is malformed or inconsistent."""
 
 
+class CacheDegradedWarning(UserWarning):
+    """The artifact store degraded to a cache miss instead of failing.
+
+    Emitted when a cached entry is corrupt (and dropped) or when the
+    cache directory cannot be written (and the result is computed
+    without being persisted). The run's correctness is unaffected; only
+    reuse across runs is lost, which is worth a visible warning.
+    """
+
+
 class PassTimeoutError(CampaignError):
     """A campaign pass exceeded its soft timeout budget.
 

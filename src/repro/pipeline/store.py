@@ -15,7 +15,9 @@ program, workload suite, stage knobs, and stage code version
 and "invalidation" is simply a key that no longer matches. Writes are
 atomic (temp file + ``os.replace``), so a crashed run never leaves a
 half-written artifact behind; unreadable or corrupt entries are treated
-as misses and quietly recomputed.
+as misses and recomputed, with a
+:class:`~repro.errors.CacheDegradedWarning` so silent cache loss does
+not masquerade as a cold cache.
 
 The sidecar JSON records what produced each blob (stage, fingerprint,
 repro version, creation time) for ``repro-sart``-independent inspection
@@ -29,10 +31,12 @@ import os
 import pickle
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Callable
 
 import repro
+from repro.errors import CacheDegradedWarning
 
 _STAGE_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-_")
 
@@ -63,10 +67,14 @@ class ArtifactStore:
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
-        except FileNotFoundError:
+        except (FileNotFoundError, NotADirectoryError):
             return None
-        except Exception:
+        except Exception as exc:
             # Corrupt/truncated/unreadable entry: drop it and recompute.
+            warnings.warn(
+                f"cache entry {stage}/{fingerprint[:12]} is unreadable "
+                f"({type(exc).__name__}); dropping it and recomputing",
+                CacheDegradedWarning, stacklevel=2)
             try:
                 path.unlink(missing_ok=True)
             except OSError:
@@ -110,9 +118,13 @@ class ArtifactStore:
         obj = compute()
         try:
             self.save(stage, fingerprint, obj)
-        except (OSError, pickle.PicklingError):
+        except (OSError, pickle.PicklingError) as exc:
             # A read-only or full cache dir degrades to pass-through.
-            pass
+            warnings.warn(
+                f"could not persist {stage}/{fingerprint[:12]} to "
+                f"{self.root} ({type(exc).__name__}: {exc}); continuing "
+                "without caching",
+                CacheDegradedWarning, stacklevel=2)
         return obj, False
 
     def entries(self) -> list[tuple[str, str]]:

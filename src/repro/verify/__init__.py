@@ -1,0 +1,68 @@
+"""Differential & metamorphic verification harness.
+
+Randomized design/circuit generation (:mod:`repro.verify.cases`),
+a library of cross-engine / cross-backend / metamorphic / statistical
+oracles (:mod:`repro.verify.oracles`), seeded defects proving each
+oracle's sensitivity (:mod:`repro.verify.defects`), a content-addressed
+golden corpus (:mod:`repro.verify.corpus`), greedy reproducer shrinking
+(:mod:`repro.verify.shrink`), and the budgeted fuzz loop behind
+``repro-sart verify`` (:mod:`repro.verify.harness`).
+"""
+
+from repro.verify.cases import (
+    CaseSpec,
+    CircuitSpec,
+    DesignCase,
+    build_case,
+    build_circuit,
+    circuit_schedule,
+    random_circuit_spec,
+    random_spec,
+)
+from repro.verify.corpus import check_corpus, load_entries, update_corpus
+from repro.verify.defects import DEFECTS, Defect, get_defect
+from repro.verify.harness import (
+    VerifyOptions,
+    VerifyReport,
+    bless_goldens,
+    build_oracles,
+    replay,
+    run_verify,
+)
+from repro.verify.oracles import (
+    CaseContext,
+    Oracle,
+    Violation,
+    default_oracles,
+    oracles_by_name,
+)
+from repro.verify.shrink import shrink
+
+__all__ = [
+    "CaseContext",
+    "CaseSpec",
+    "CircuitSpec",
+    "DEFECTS",
+    "Defect",
+    "DesignCase",
+    "Oracle",
+    "VerifyOptions",
+    "VerifyReport",
+    "Violation",
+    "bless_goldens",
+    "build_case",
+    "build_circuit",
+    "build_oracles",
+    "check_corpus",
+    "circuit_schedule",
+    "default_oracles",
+    "get_defect",
+    "load_entries",
+    "oracles_by_name",
+    "random_circuit_spec",
+    "random_spec",
+    "replay",
+    "run_verify",
+    "shrink",
+    "update_corpus",
+]

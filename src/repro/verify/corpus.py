@@ -1,0 +1,201 @@
+"""Golden regression corpus: committed designs with expected AVFs.
+
+Each corpus entry is one JSON file under ``src/repro/verify/corpus/``
+pairing a :class:`~repro.verify.cases.CaseSpec` with the per-FUB and
+per-node AVFs the compiled engine produced when the golden was blessed,
+plus a tolerance. The entry is *content-addressed*: its ``fingerprint``
+field is the :func:`repro.pipeline.fingerprint.fingerprint` of the spec
+and the corpus format version, so a hand-edited spec whose expectations
+were not regenerated is flagged as *stale* rather than silently
+compared against the wrong design.
+
+Update/review workflow::
+
+    repro-sart verify --update-goldens          # regenerate in place
+    git diff src/repro/verify/corpus/           # review the deltas
+
+A golden only changes when the algorithm's numeric output changes, so
+the diff *is* the review artifact: an intentional algorithm change
+shows up as a reviewed value drift, an accidental one as a red CI run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.core.report import average_seq_avf
+from repro.core.sart import SartConfig, run_sart
+from repro.pipeline.fingerprint import fingerprint
+from repro.verify.cases import CaseSpec, build_case
+from repro.verify.oracles import Violation
+
+CORPUS_VERSION = 1
+ORACLE_NAME = "golden-corpus"
+DEFAULT_TOLERANCE = 1e-9
+
+#: The shipped corpus: named specs chosen to cover every special role
+#: (structures wide and absent, all three loop topologies, control
+#: registers, single- and multi-FUB partitioning).
+DEFAULT_CORPUS: tuple[tuple[str, CaseSpec], ...] = (
+    ("pipeline-basic", CaseSpec(seed=101, n_fubs=1, flops_per_fub=10,
+                                struct_width=2, fsm_loops=0, stall_loops=0,
+                                pointer_loops=0, ctrl_regs=0, env_seed=11)),
+    ("loops-all-kinds", CaseSpec(seed=202, n_fubs=2, flops_per_fub=8,
+                                 struct_width=2, fsm_loops=2, stall_loops=2,
+                                 pointer_loops=1, ctrl_regs=0, env_seed=22)),
+    ("ctrl-heavy", CaseSpec(seed=303, n_fubs=2, flops_per_fub=6,
+                            struct_width=1, fsm_loops=1, stall_loops=0,
+                            pointer_loops=0, ctrl_regs=3, env_seed=33)),
+    ("multi-fub-relax", CaseSpec(seed=404, n_fubs=4, flops_per_fub=9,
+                                 struct_width=3, fsm_loops=1, stall_loops=1,
+                                 pointer_loops=1, ctrl_regs=2, env_seed=44)),
+    ("structless", CaseSpec(seed=505, n_fubs=2, flops_per_fub=7,
+                            struct_width=0, fsm_loops=1, stall_loops=1,
+                            pointer_loops=0, ctrl_regs=1, env_seed=55)),
+)
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus shipped inside the package."""
+    return Path(__file__).parent / "corpus"
+
+
+def spec_fingerprint(spec: CaseSpec) -> str:
+    return fingerprint("verify-corpus", CORPUS_VERSION, spec.to_json())
+
+
+def compute_expected(spec: CaseSpec) -> dict:
+    """The blessed values for one spec (compiled engine, default flow)."""
+    case = build_case(spec)
+    result = run_sart(case.module, case.structures,
+                      SartConfig(loop_pavf=spec.loop_pavf))
+    nets = sorted(result.node_avfs)
+    stride = max(1, len(nets) // 8)
+    sample = {net: result.node_avfs[net].avf for net in nets[::stride][:8]}
+    return {
+        "weighted_seq_avf": result.report.weighted_seq_avf,
+        "average_seq_avf": average_seq_avf(result.node_avfs),
+        "fub_seq_avf": {row.fub: row.seq_avg_avf
+                        for row in result.report.fubs},
+        "nodes": sample,
+    }
+
+
+def make_entry(name: str, spec: CaseSpec,
+               tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    return {
+        "name": name,
+        "corpus_version": CORPUS_VERSION,
+        "spec": spec.to_json(),
+        "fingerprint": spec_fingerprint(spec),
+        "tolerance": tolerance,
+        "expected": compute_expected(spec),
+    }
+
+
+def write_entry(directory: Path, entry: dict) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry['name']}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def update_corpus(directory: Path | None = None,
+                  corpus: Iterable[tuple[str, CaseSpec]] = DEFAULT_CORPUS,
+                  ) -> list[Path]:
+    """Regenerate every golden in *directory* (the blessing step)."""
+    directory = Path(directory) if directory else default_corpus_dir()
+    existing = load_entries(directory)
+    if existing:
+        # Re-bless what is on disk (keeps locally added entries alive);
+        # their specs are authoritative, expectations are recomputed.
+        corpus = [(e["name"], CaseSpec.from_json(e["spec"])) for e in existing]
+    return [write_entry(directory, make_entry(name, spec))
+            for name, spec in corpus]
+
+
+def load_entries(directory: Path | None = None) -> list[dict]:
+    directory = Path(directory) if directory else default_corpus_dir()
+    entries = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.json")):
+        entries.append(json.loads(path.read_text()))
+    return entries
+
+
+def check_corpus(directory: Path | None = None,
+                 corrupt: Callable[[dict], dict] | None = None,
+                 ) -> tuple[list[Violation], int]:
+    """Re-run every golden and compare against its stored expectations.
+
+    Returns ``(violations, entries_checked)``. *corrupt* is the
+    mutation-kill seam: it sees each loaded entry before comparison,
+    exactly as on-disk bitrot or an unreviewed hand edit would.
+    """
+    entries = load_entries(directory)
+    violations: list[Violation] = []
+    for entry in entries:
+        if corrupt is not None:
+            entry = corrupt(entry)
+        name = entry.get("name", "?")
+        case_label = f"golden:{name}"
+        if entry.get("corpus_version") != CORPUS_VERSION:
+            violations.append(Violation(
+                ORACLE_NAME, case_label,
+                f"corpus_version {entry.get('corpus_version')!r} does not "
+                f"match harness version {CORPUS_VERSION}; regenerate with "
+                "--update-goldens"))
+            continue
+        spec = CaseSpec.from_json(entry["spec"])
+        if entry.get("fingerprint") != spec_fingerprint(spec):
+            violations.append(Violation(
+                ORACLE_NAME, case_label,
+                "stale fingerprint: the spec was edited without "
+                "regenerating expectations (--update-goldens)"))
+            continue
+        tol = float(entry.get("tolerance", DEFAULT_TOLERANCE))
+        actual = compute_expected(spec)
+        expected = entry["expected"]
+        for key in ("weighted_seq_avf", "average_seq_avf"):
+            violations.extend(_compare_scalar(
+                case_label, key, expected.get(key), actual[key], tol))
+        for fub, want in expected.get("fub_seq_avf", {}).items():
+            got = actual["fub_seq_avf"].get(fub)
+            violations.extend(_compare_scalar(
+                case_label, f"fub_seq_avf[{fub}]", want, got, tol))
+        for net, want in expected.get("nodes", {}).items():
+            got = actual["nodes"].get(net)
+            if got is None:
+                got = _node_avf(spec, net)
+            violations.extend(_compare_scalar(
+                case_label, f"node[{net}]", want, got, tol))
+    return violations, len(entries)
+
+
+def _node_avf(spec: CaseSpec, net: str) -> float | None:
+    case = build_case(spec)
+    result = run_sart(case.module, case.structures,
+                      SartConfig(loop_pavf=spec.loop_pavf))
+    node = result.node_avfs.get(net)
+    return node.avf if node is not None else None
+
+
+def _compare_scalar(case_label: str, key: str, want, got,
+                    tol: float) -> list[Violation]:
+    if want is None:
+        return []
+    if got is None:
+        return [Violation(ORACLE_NAME, case_label,
+                          f"{key}: expected {want!r} but the value is "
+                          "missing from the rebuilt design")]
+    if abs(float(want) - float(got)) > tol:
+        return [Violation(
+            ORACLE_NAME, case_label,
+            f"{key}: got {got!r}, golden says {want!r} "
+            f"(|delta| {abs(float(want) - float(got)):.3e} > tol {tol:.0e}); "
+            "if the algorithm change is intentional, regenerate with "
+            "--update-goldens and review the git diff")]
+    return []

@@ -1,0 +1,101 @@
+"""Greedy spec shrinking: reduce a failing case to a minimal reproducer.
+
+Because cases are built deterministically from small frozen specs
+(:mod:`repro.verify.cases`), shrinking never touches the netlist — it
+only moves spec fields toward their floors and re-asks the caller's
+predicate whether the reduced case *still fails*. The result is the
+lexicographically smallest spec (by total field mass) this greedy pass
+can reach within ``max_attempts`` predicate evaluations.
+
+The predicate is expected to rebuild the case and re-run the failing
+oracle; a predicate that throws counts as "still fails" (the reproducer
+should preserve crashes too, not just wrong answers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, TypeVar
+
+from repro.verify.cases import CaseSpec, CircuitSpec
+
+SpecT = TypeVar("SpecT", CaseSpec, CircuitSpec)
+
+# (field, floor) in shrink priority order: structure-removing reductions
+# first (they delete whole subgraphs), then size halving, then seeds.
+_CASE_FIELDS: tuple[tuple[str, int], ...] = (
+    ("n_fubs", 1),
+    ("fsm_loops", 0),
+    ("stall_loops", 0),
+    ("pointer_loops", 0),
+    ("ctrl_regs", 0),
+    ("struct_width", 0),
+    ("flops_per_fub", 1),
+    ("env_seed", 0),
+)
+
+_CIRCUIT_FIELDS: tuple[tuple[str, int], ...] = (
+    ("n_faults", 0),
+    ("with_mem", 0),
+    ("n_gates", 1),
+    ("n_dffs", 2),
+    ("n_inputs", 2),
+    ("cycles", 1),
+    ("lanes", 2),
+    ("stim_seed", 0),
+)
+
+
+def _fields_for(spec) -> tuple[tuple[str, int], ...]:
+    if isinstance(spec, CaseSpec):
+        return _CASE_FIELDS
+    if isinstance(spec, CircuitSpec):
+        return _CIRCUIT_FIELDS
+    raise TypeError(f"cannot shrink {type(spec).__name__}")
+
+
+def _candidates(spec: SpecT) -> list[SpecT]:
+    """Reduced variants of *spec*, most aggressive first."""
+    out: list[SpecT] = []
+    for name, floor in _fields_for(spec):
+        value = getattr(spec, name)
+        current = int(value)
+        if current <= floor:
+            continue
+        # Jump straight to the floor, then bisect toward it.
+        steps = {floor, floor + (current - floor) // 2}
+        for target in sorted(steps):
+            if target == current:
+                continue
+            if isinstance(value, bool):
+                target = bool(target)
+            out.append(dataclasses.replace(spec, **{name: target}))
+    return out
+
+
+def shrink(spec: SpecT,
+           still_fails: Callable[[SpecT], bool],
+           max_attempts: int = 64) -> tuple[SpecT, int]:
+    """Greedily shrink *spec* while ``still_fails`` stays true.
+
+    Returns ``(smallest_failing_spec, attempts_used)``. The input spec
+    is assumed failing; the predicate is never called on it.
+    """
+    attempts = 0
+    current = spec
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                failing = bool(still_fails(candidate))
+            except Exception:
+                failing = True  # a crash is a reproducer too
+            if failing:
+                current = candidate
+                improved = True
+                break  # restart candidate generation from the new spec
+    return current, attempts

@@ -1,12 +1,36 @@
-"""Shared fixtures: canonical circuits used across the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite.
+
+Hypothesis settings live here, not in individual test files: tests only
+override ``max_examples`` where a specific budget matters, and inherit
+everything else (deadline policy, determinism) from the active profile.
+Select one with ``HYPOTHESIS_PROFILE=<name> pytest`` (docs/TESTING.md):
+
+``dev`` (default)
+    No deadline (CI machines and laptops differ too much for per-example
+    wall-clock limits to signal anything), random derivation.
+``ci``
+    Same, plus ``derandomize=True`` so CI failures reproduce exactly and
+    ``print_blob=True`` so the failing example is pasteable.
+``nightly``
+    Bigger default example budget for scheduled deep runs.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.graphmodel import StructurePorts
 from repro.netlist.builder import ModuleBuilder
 from repro.netlist.netlist import Module
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True,
+                          print_blob=True)
+settings.register_profile("nightly", deadline=None, max_examples=400)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_fig7() -> tuple[Module, dict[str, str]]:

@@ -110,7 +110,7 @@ atoms_strategy = st.sets(
 ).map(frozenset)
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 @given(atoms_strategy, atoms_strategy, atoms_strategy)
 def test_union_laws(x, y, z):
     # commutative, associative, idempotent
@@ -119,7 +119,7 @@ def test_union_laws(x, y, z):
     assert union(x, x) == x
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 @given(atoms_strategy, atoms_strategy)
 def test_value_monotone_in_union(x, y):
     env = PavfEnv(unbound_default=0.3)
@@ -129,7 +129,7 @@ def test_value_monotone_in_union(x, y):
     assert 0.0 <= value_of(merged, env) <= 1.0
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 @given(atoms_strategy)
 def test_value_bounded(x):
     env = PavfEnv(unbound_default=0.9)

@@ -70,7 +70,7 @@ def _ports(seed: int, n_structs: int = 3) -> dict[str, StructurePorts]:
 CFG = SartConfig(partition_by_fub=False)
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 @given(st.integers(0, 10_000), st.integers(0, 10_000))
 def test_avfs_are_probabilities(design_seed, port_seed):
     module, _ = _random_design(design_seed)
@@ -81,7 +81,7 @@ def test_avfs_are_probabilities(design_seed, port_seed):
         assert 0.0 <= node.backward <= 1.0
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15)
 @given(st.integers(0, 10_000), st.integers(0, 10_000))
 def test_monotone_in_port_avfs(design_seed, port_seed):
     module, _ = _random_design(design_seed)
@@ -105,7 +105,7 @@ def test_monotone_in_port_avfs(design_seed, port_seed):
         assert high.avf(net) >= node.avf - 1e-9, net
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(st.integers(0, 10_000), st.integers(0, 10_000))
 def test_engines_agree_on_random_designs(design_seed, port_seed):
     module, _ = _random_design(design_seed)
@@ -118,7 +118,7 @@ def test_engines_agree_on_random_designs(design_seed, port_seed):
         assert df.avf(net) == pytest.approx(wk.avf(net)), net
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
 def test_closed_form_matches_fresh_run(design_seed, port_seed, new_seed):
     module, _ = _random_design(design_seed)
@@ -131,7 +131,7 @@ def test_closed_form_matches_fresh_run(design_seed, port_seed, new_seed):
         assert reevaluated[net].avf == pytest.approx(fresh.avf(net)), net
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(st.integers(0, 10_000), st.integers(0, 10_000))
 def test_partitioned_converges_to_monolithic(design_seed, port_seed):
     module, _ = _random_design(design_seed)

@@ -49,7 +49,7 @@ class TestEncoding:
         with pytest.raises(AssemblerError):
             encode("FROB")
 
-    @settings(max_examples=200, deadline=None)
+    @settings(max_examples=200)
     @given(st.integers(0, 0xFFFF))
     def test_decode_total(self, word):
         d = decode(word)

@@ -10,6 +10,8 @@ from repro.rtlsim.simulator import Simulator
 from repro.ser.beam import BeamConfig, run_beam_test
 from repro.sfi import plan_campaign, run_sfi_campaign
 
+pytestmark = pytest.mark.slow  # full beam campaigns on both core variants
+
 
 @pytest.fixture(scope="module")
 def parity_core():

@@ -13,7 +13,7 @@ from repro.rtlsim.simulator import Simulator
 from tests.rtlsim.test_random_circuits import _random_module
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15)
 @given(st.integers(0, 10_000))
 def test_exlif_roundtrip_random(seed):
     module = _random_module(seed, n_gates=20, n_dffs=4)
@@ -26,7 +26,7 @@ def test_exlif_roundtrip_random(seed):
     assert set(again.ports) == set(module.ports)
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(st.integers(0, 10_000), st.integers(0, 2**30))
 def test_verilog_roundtrip_behaviour_random(seed, stim_seed):
     module = _random_module(seed, n_gates=18, n_dffs=4)
@@ -49,7 +49,7 @@ def test_verilog_roundtrip_behaviour_random(seed, stim_seed):
         sim_b.step()
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15)
 @given(st.integers(0, 10_000))
 def test_exlif_roundtrip_simulates_identically(seed):
     module = _random_module(seed, n_gates=15, n_dffs=3)

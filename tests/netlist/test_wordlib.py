@@ -32,7 +32,7 @@ def _build_and_sim(make_outputs):
     return run
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(st.integers(0, MASK), st.integers(0, MASK))
 def test_ripple_add_matches_python(x, z):
     run = _ripple_add_runner()
@@ -48,7 +48,7 @@ def _ripple_add_runner():
     return _ripple_add_runner.run
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(st.integers(0, MASK), st.integers(0, MASK))
 def test_ripple_sub_matches_python(x, z):
     if not hasattr(test_ripple_sub_matches_python, "run"):
@@ -119,7 +119,7 @@ def test_constant_shifts_and_rotate():
     assert rot == ((x << 1) | (x >> (WIDTH - 1))) & MASK
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(st.integers(0, MASK), st.integers(0, 7))
 def test_barrel_shifters(x, amount):
     if not hasattr(test_barrel_shifters, "run"):

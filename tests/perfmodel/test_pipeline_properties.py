@@ -22,7 +22,7 @@ spec_strategy = st.builds(
 )
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 @given(spec_strategy)
 def test_every_workload_completes_and_balances(spec):
     trace = generate_trace(spec)
@@ -45,7 +45,7 @@ def test_every_workload_completes_and_balances(spec):
         assert stats.pavf_r_bitwise() <= stats.pavf_r() + 1e-12
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(spec_strategy, st.integers(2, 6))
 def test_smaller_rob_never_faster(spec, rob_shrink):
     # Wrong-path modelling off: its fetch-buffer occupancy interacts with

@@ -1,7 +1,10 @@
 """Artifact store: roundtrip, miss, corruption, and counter semantics."""
 
+import json
+
 import pytest
 
+from repro.errors import CacheDegradedWarning
 from repro.pipeline.store import ArtifactStore, NullStore
 
 FP = "ab" * 32
@@ -24,8 +27,53 @@ def test_corrupt_entry_is_a_miss_and_is_dropped(tmp_path):
     path = store.path("plan", FP)
     path.parent.mkdir(parents=True)
     path.write_bytes(b"this is not a pickle")
-    assert store.load("plan", FP) is None
+    with pytest.warns(CacheDegradedWarning, match="unreadable"):
+        assert store.load("plan", FP) is None
     assert not path.exists()  # corrupt blob removed
+
+
+def test_corrupt_sidecar_does_not_poison_the_blob(tmp_path):
+    store = ArtifactStore(tmp_path)
+    path = store.save("golden", FP, {"cycles": 166})
+    sidecar = path.with_suffix(".json")
+    sidecar.write_text("{not json at all")
+    # The sidecar is metadata only: loads still hit, and a re-save
+    # rewrites it with valid content.
+    assert store.load("golden", FP) == {"cycles": 166}
+    obj, hit = store.fetch("golden", FP, lambda: pytest.fail("recomputed"))
+    assert (obj, hit) == ({"cycles": 166}, True)
+    store.save("golden", FP, {"cycles": 167})
+    assert json.loads(sidecar.read_text())["stage"] == "golden"
+
+
+def test_unwritable_cache_dir_degrades_to_pass_through(tmp_path):
+    # A plain file where the store root should be makes every mkdir in
+    # save() fail with an OSError (works even when running as root,
+    # unlike permission-bit tricks).
+    root = tmp_path / "cache"
+    root.write_text("i am a file, not a directory")
+    store = ArtifactStore(root)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"cycles": 166}
+
+    with pytest.warns(CacheDegradedWarning, match="could not persist"):
+        obj, hit = store.fetch("golden", FP, compute)
+    assert (obj, hit, len(calls)) == ({"cycles": 166}, False, 1)
+    # Nothing was cached, so the next fetch recomputes (and warns) again.
+    with pytest.warns(CacheDegradedWarning):
+        obj, hit = store.fetch("golden", FP, compute)
+    assert (obj, hit, len(calls)) == ({"cycles": 166}, False, 2)
+
+
+def test_save_raises_on_unwritable_dir_but_fetch_survives(tmp_path):
+    root = tmp_path / "cache"
+    root.write_text("still a file")
+    store = ArtifactStore(root)
+    with pytest.raises(OSError):
+        store.save("golden", FP, "payload")
 
 
 def test_fetch_counts_hits_and_misses(tmp_path):

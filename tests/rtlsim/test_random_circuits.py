@@ -85,7 +85,7 @@ class _Reference:
         self.values.update(nxt)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20)
 @given(st.integers(0, 10_000), st.integers(0, 2**30))
 def test_simulator_matches_reference(seed, stim_seed):
     module = _random_module(seed)
@@ -108,7 +108,7 @@ def test_simulator_matches_reference(seed, stim_seed):
         ref.step()
 
 
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 @given(st.integers(0, 5_000))
 def test_lanes_agree_without_faults(seed):
     """All lanes of a fault-free simulation stay bit-identical."""

@@ -197,7 +197,7 @@ def test_levelize_orders_dependencies():
             produced.add(inst.conn[pin])
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 @given(st.integers(0, 255), st.integers(0, 255), st.integers(1, 5))
 def test_pipeline_delays_data(x, z, depth):
     b = ModuleBuilder("m")

@@ -8,6 +8,8 @@ from repro.ser.beam import BeamConfig, run_beam_test
 from repro.ser.correlation import TINYCORE_LOOP_PAVF, correlate_workloads, model_rates
 from repro.ser.fit import FitModel, sdc_rate_per_cycle
 
+pytestmark = pytest.mark.slow  # end-to-end beam + SART correlation runs
+
 
 class TestFitModel:
     def test_eq1(self):

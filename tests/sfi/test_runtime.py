@@ -29,6 +29,8 @@ from repro.sfi.runtime import (
 )
 from tests.sfi.chaos import ChaosPlan, attempts_of, chaos_init, chaos_worker
 
+pytestmark = pytest.mark.slow  # chaos recovery paths spin real worker pools
+
 EXPECT = [i * i for i in range(6)]
 
 

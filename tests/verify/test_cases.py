@@ -1,0 +1,99 @@
+"""Case generators: determinism, JSON round-trips, feature placement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netlist.exlif import write_exlif
+from repro.netlist.validate import validate_module
+from repro.verify.cases import (
+    CaseSpec,
+    CircuitSpec,
+    build_case,
+    build_circuit,
+    circuit_schedule,
+    random_circuit_spec,
+    random_spec,
+)
+
+
+def test_case_spec_json_roundtrip():
+    spec = CaseSpec(seed=7, n_fubs=2, struct_width=1, env_seed=9)
+    assert CaseSpec.from_json(spec.to_json()) == spec
+
+
+def test_case_spec_from_json_ignores_unknown_keys():
+    data = CaseSpec(seed=3).to_json()
+    data["future_field"] = 1
+    assert CaseSpec.from_json(data) == CaseSpec(seed=3)
+
+
+def test_circuit_spec_json_roundtrip():
+    spec = CircuitSpec(seed=5, with_mem=True, lanes=3)
+    assert CircuitSpec.from_json(spec.to_json()) == spec
+
+
+def test_build_case_deterministic():
+    spec = CaseSpec(seed=11, env_seed=4)
+    a, b = build_case(spec), build_case(spec)
+    assert write_exlif(a.module) == write_exlif(b.module)
+    assert a.structures.keys() == b.structures.keys()
+    for name in a.structures:
+        assert a.structures[name] == b.structures[name]
+    assert a.ctrl_names == b.ctrl_names
+
+
+def test_build_case_places_requested_features():
+    spec = CaseSpec(seed=13, n_fubs=2, struct_width=2, fsm_loops=1,
+                    stall_loops=1, pointer_loops=1, ctrl_regs=2)
+    case = build_case(spec)
+    assert len(case.ctrl_names) == 2
+    assert case.loop_seeds  # at least one loop net recorded
+    assert set(case.structures) == {"SRC", "SNK"}
+    fubs = {inst.attrs.get("fub") for inst in case.module.instances.values()}
+    assert {"F0", "F1"} <= fubs
+
+
+def test_build_case_minimal_spec():
+    case = build_case(CaseSpec(seed=1, n_fubs=1, flops_per_fub=1,
+                               struct_width=0, fsm_loops=0, stall_loops=0,
+                               pointer_loops=0, ctrl_regs=0))
+    validate_module(case.module)
+    assert case.structures == {}
+    assert case.ctrl_names == []
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_specs_build_valid_modules(seed):
+    rng = random.Random(seed)
+    case = build_case(random_spec(rng))
+    validate_module(case.module)
+
+
+def test_build_circuit_deterministic_and_valid():
+    spec = CircuitSpec(seed=21, with_mem=True)
+    a, b = build_circuit(spec), build_circuit(spec)
+    assert write_exlif(a) == write_exlif(b)
+    validate_module(a)
+    assert "vmem" in {i.name for i in a.instances.values()}
+
+
+def test_circuit_schedule_never_hits_golden_lane():
+    rng = random.Random(3)
+    for _ in range(10):
+        spec = random_circuit_spec(rng)
+        module = build_circuit(spec)
+        stimulus, faults = circuit_schedule(spec, module)
+        assert len(stimulus) == spec.cycles
+        for cycle, net, mask in faults:
+            assert 0 <= cycle < spec.cycles
+            assert net in module.nets
+            assert mask & 1 == 0, "lane 0 is the golden lane"
+
+
+def test_circuit_schedule_deterministic():
+    spec = CircuitSpec(seed=8, stim_seed=77, n_faults=4)
+    module = build_circuit(spec)
+    assert circuit_schedule(spec, module) == circuit_schedule(spec, module)

@@ -1,0 +1,104 @@
+"""Golden corpus: content addressing, staleness detection, blessing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.verify.cases import CaseSpec
+from repro.verify.corpus import (
+    CORPUS_VERSION,
+    check_corpus,
+    load_entries,
+    make_entry,
+    spec_fingerprint,
+    update_corpus,
+    write_entry,
+)
+
+SPEC = CaseSpec(seed=77, n_fubs=2, flops_per_fub=5, struct_width=1,
+                fsm_loops=1, stall_loops=0, pointer_loops=0,
+                ctrl_regs=1, env_seed=3)
+
+
+def test_shipped_corpus_is_green():
+    violations, checked = check_corpus()
+    assert checked >= 5
+    assert violations == []
+
+
+def test_entry_roundtrip(tmp_path):
+    entry = make_entry("tiny", SPEC)
+    write_entry(tmp_path, entry)
+    violations, checked = check_corpus(tmp_path)
+    assert checked == 1
+    assert violations == []
+
+
+def test_fingerprint_tracks_spec_not_expectations():
+    entry = make_entry("tiny", SPEC)
+    assert entry["fingerprint"] == spec_fingerprint(SPEC)
+    other = make_entry("tiny", CaseSpec(seed=78))
+    assert other["fingerprint"] != entry["fingerprint"]
+
+
+def test_hand_edited_spec_flagged_stale(tmp_path):
+    entry = make_entry("tiny", SPEC)
+    entry["spec"]["flops_per_fub"] = 6  # edit without re-blessing
+    write_entry(tmp_path, entry)
+    violations, _ = check_corpus(tmp_path)
+    assert violations and "stale fingerprint" in violations[0].message
+
+
+def test_version_mismatch_flagged(tmp_path):
+    entry = make_entry("tiny", SPEC)
+    entry["corpus_version"] = CORPUS_VERSION + 1
+    write_entry(tmp_path, entry)
+    violations, _ = check_corpus(tmp_path)
+    assert violations and "corpus_version" in violations[0].message
+
+
+def test_drifted_value_flagged_with_update_hint(tmp_path):
+    entry = make_entry("tiny", SPEC)
+    entry["expected"]["weighted_seq_avf"] += 0.01
+    write_entry(tmp_path, entry)
+    violations, _ = check_corpus(tmp_path)
+    assert violations
+    assert "--update-goldens" in violations[0].message
+
+
+def test_tolerance_is_honored(tmp_path):
+    entry = make_entry("tiny", SPEC, tolerance=0.5)
+    entry["expected"]["weighted_seq_avf"] += 0.01
+    write_entry(tmp_path, entry)
+    violations, _ = check_corpus(tmp_path)
+    assert violations == []
+
+
+def test_update_corpus_rebenches_existing_entries(tmp_path):
+    entry = make_entry("tiny", SPEC)
+    entry["expected"]["weighted_seq_avf"] += 0.2  # drift
+    write_entry(tmp_path, entry)
+    assert check_corpus(tmp_path)[0]  # red before blessing
+    paths = update_corpus(tmp_path)
+    assert [p.name for p in paths] == ["tiny.json"]
+    assert check_corpus(tmp_path)[0] == []  # green after
+
+
+def test_update_corpus_seeds_default_set_when_empty(tmp_path):
+    paths = update_corpus(tmp_path)
+    assert len(paths) >= 5
+    assert check_corpus(tmp_path)[0] == []
+
+
+def test_missing_directory_is_empty_not_error(tmp_path):
+    violations, checked = check_corpus(tmp_path / "nope")
+    assert (violations, checked) == ([], 0)
+    assert load_entries(tmp_path / "nope") == []
+
+
+def test_entries_are_stable_json(tmp_path):
+    path = write_entry(tmp_path, make_entry("tiny", SPEC))
+    first = path.read_text()
+    write_entry(tmp_path, make_entry("tiny", SPEC))
+    assert path.read_text() == first
+    json.loads(first)  # valid JSON

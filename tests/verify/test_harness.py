@@ -1,0 +1,108 @@
+"""The verify loop: clean runs, defect runs, reproducers, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify.defects import get_defect
+from repro.verify.harness import (
+    VerifyOptions,
+    build_oracles,
+    replay,
+    run_verify,
+)
+from repro.verify.oracles import SCOPE_GLOBAL
+
+
+def _options(tmp_path, **kw):
+    defaults = dict(budget=30.0, seed=0, out_dir=tmp_path / "fail",
+                    skip_global=True, skip_corpus=True, max_cases=4)
+    defaults.update(kw)
+    return VerifyOptions(**defaults)
+
+
+def test_clean_run_is_ok(tmp_path):
+    report = run_verify(_options(tmp_path))
+    assert report.ok
+    assert report.design_cases + report.circuit_cases == 4
+    assert report.reproducers == []
+    assert not (tmp_path / "fail").exists()
+
+
+def test_report_json_shape(tmp_path):
+    report = run_verify(_options(tmp_path, max_cases=2))
+    data = report.to_json()
+    assert data["ok"] is True
+    assert data["violations"] == []
+    assert set(data) >= {"seed", "budget", "design_cases", "circuit_cases",
+                         "corpus_entries", "elapsed", "reproducers"}
+
+
+def test_budget_zero_runs_no_fuzz_cases(tmp_path):
+    report = run_verify(_options(tmp_path, budget=0.0, max_cases=None))
+    assert report.design_cases == 0
+    assert report.circuit_cases == 0
+
+
+def test_defect_run_writes_shrunk_reproducer(tmp_path):
+    defect = get_defect("cross-engine")
+    report = run_verify(_options(tmp_path), defect=defect)
+    assert not report.ok
+    assert any(v.oracle == "cross-engine" for v in report.violations)
+    assert report.reproducers
+    payload = json.loads(report.reproducers[0].read_text())
+    assert payload["kind"] == "design"
+    assert payload["oracle"] == "cross-engine"
+    # The shrunk spec is no larger than the original on every field.
+    for field in ("n_fubs", "flops_per_fub", "struct_width", "ctrl_regs"):
+        assert payload["spec"][field] <= payload["original_spec"][field]
+
+
+def test_replay_reproduces_and_clears(tmp_path):
+    defect = get_defect("cross-engine")
+    report = run_verify(_options(tmp_path), defect=defect)
+    path = report.reproducers[0]
+    with_defect = replay(path, _options(tmp_path), defect=defect)
+    assert not with_defect.ok
+    without = replay(path, _options(tmp_path))
+    assert without.ok
+
+
+def test_replay_rejects_unknown_kind(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"kind": "mystery", "spec": {}}))
+    with pytest.raises(ValueError, match="mystery"):
+        replay(path, _options(tmp_path))
+
+
+def test_oracle_filter_limits_set(tmp_path):
+    options = _options(tmp_path, oracle_names=("range",))
+    oracles = build_oracles(options)
+    assert [o.name for o in oracles] == ["range"]
+
+
+def test_corpus_defect_caught_without_fuzzing(tmp_path):
+    defect = get_defect("golden-corpus")
+    options = _options(tmp_path, skip_corpus=False, max_cases=0)
+    report = run_verify(options, defect=defect)
+    assert any(v.oracle == "golden-corpus" for v in report.violations)
+    assert report.corpus_entries >= 5
+
+
+def test_global_oracle_included_when_enabled(tmp_path):
+    options = _options(tmp_path, skip_global=False)
+    oracles = build_oracles(options)
+    assert any(o.scope == SCOPE_GLOBAL for o in oracles)
+
+
+@pytest.mark.fuzz
+def test_budgeted_run_with_all_oracles(tmp_path):
+    options = VerifyOptions(budget=5.0, seed=0, out_dir=tmp_path / "fail",
+                            sfi_injections=96)
+    report = run_verify(options)
+    assert report.ok, [str(v) for v in report.violations]
+    assert report.design_cases > 10
+    assert report.circuit_cases > 10
+    assert report.corpus_entries >= 5

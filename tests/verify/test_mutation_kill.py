@@ -1,0 +1,100 @@
+"""Mutation-kill suite: every shipped oracle catches its seeded defect.
+
+This is the harness testing itself for *sensitivity*: an oracle that
+returns no violations on a clean engine could also be an oracle that
+stopped looking. For each registered defect we corrupt exactly one seam
+and assert (a) the matching oracle fires, and (b) the same oracle is
+silent without the defect — so the kill is attributable to the defect,
+not to flakiness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.cases import CaseSpec, CircuitSpec, build_case
+from repro.verify.corpus import check_corpus
+from repro.verify.defects import DEFECTS, get_defect
+from repro.verify.oracles import (
+    CaseContext,
+    CrossBackendOracle,
+    SCOPE_CIRCUIT,
+    SCOPE_DESIGN,
+    SCOPE_GLOBAL,
+    SfiConsistencyOracle,
+    oracles_by_name,
+)
+
+# One representative case with every feature the design oracles read:
+# structures, all three loop kinds, control registers, multiple FUBs.
+KILL_SPEC = CaseSpec(seed=42, n_fubs=3, flops_per_fub=8, struct_width=2,
+                     fsm_loops=1, stall_loops=1, pointer_loops=1,
+                     ctrl_regs=2, env_seed=5)
+KILL_CIRCUIT = CircuitSpec(seed=2, with_mem=True, lanes=4, n_faults=2)
+
+DESIGN_DEFECTS = sorted(n for n, d in DEFECTS.items()
+                        if d.mutate_sart is not None)
+
+
+def test_every_oracle_has_a_defect():
+    covered = {d.oracle for d in DEFECTS.values()}
+    shipped = set(oracles_by_name()) | {"golden-corpus"}
+    assert shipped <= covered, f"oracles without a defect: {shipped - covered}"
+
+
+def test_unknown_defect_name_lists_available():
+    with pytest.raises(ValueError, match="cross-engine"):
+        get_defect("no-such-defect")
+
+
+@pytest.mark.parametrize("name", DESIGN_DEFECTS)
+def test_design_defect_killed_by_its_oracle(name):
+    defect = get_defect(name)
+    oracle = oracles_by_name()[defect.oracle]
+    assert oracle.scope == SCOPE_DESIGN
+    case = build_case(KILL_SPEC)
+
+    clean = oracle.check(case, CaseContext(case))
+    assert clean == [], "oracle must be silent without the defect"
+
+    mutated = oracle.check(case, CaseContext(case, mutate=defect.mutate_sart))
+    assert mutated, f"defect {name!r} was not killed by {defect.oracle!r}"
+    assert all(v.oracle == defect.oracle for v in mutated)
+
+
+def test_cross_backend_defect_killed():
+    defect = get_defect("cross-backend")
+    oracle = CrossBackendOracle(make_sim=defect.make_sim)
+    if not oracle.available():
+        pytest.skip("numpy backend unavailable")
+    assert CrossBackendOracle().check(KILL_CIRCUIT) == []
+    violations = oracle.check(KILL_CIRCUIT)
+    assert violations and violations[0].oracle == "cross-backend"
+
+
+def test_sfi_defect_killed():
+    defect = get_defect("sfi-consistency")
+    measure = lambda program, injections, seed: (0.31, 0.25, 0.38)  # noqa: E731
+    clean = SfiConsistencyOracle(analytic=lambda p: 0.39, measure=measure)
+    assert clean.check(None) == []
+    broken = SfiConsistencyOracle(analytic=defect.analytic, measure=measure)
+    violations = broken.check(None)
+    assert violations and violations[0].oracle == "sfi-consistency"
+
+
+def test_golden_corpus_defect_killed():
+    defect = get_defect("golden-corpus")
+    clean, checked = check_corpus()
+    assert checked > 0, "shipped corpus missing"
+    assert clean == []
+    corrupted, _ = check_corpus(corrupt=defect.corrupt_corpus)
+    assert corrupted and all(v.oracle == "golden-corpus" for v in corrupted)
+
+
+def test_defect_scopes_are_exclusive():
+    # Each defect corrupts exactly one seam; a defect that corrupts two
+    # could mask which oracle actually caught it.
+    for defect in DEFECTS.values():
+        seams = [defect.mutate_sart, defect.make_sim, defect.analytic,
+                 defect.corrupt_corpus]
+        assert sum(s is not None for s in seams) == 1, defect.name

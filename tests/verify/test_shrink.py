@@ -1,0 +1,78 @@
+"""Shrinker: minimality, crash handling, attempt budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.cases import CaseSpec, CircuitSpec
+from repro.verify.shrink import shrink
+
+
+def test_shrinks_to_floor_when_everything_fails():
+    spec = CaseSpec(seed=1, n_fubs=4, flops_per_fub=12, struct_width=3,
+                    fsm_loops=2, stall_loops=2, pointer_loops=1,
+                    ctrl_regs=2, env_seed=99)
+    small, attempts = shrink(spec, lambda s: True)
+    assert small == CaseSpec(seed=1, n_fubs=1, flops_per_fub=1,
+                             struct_width=0, fsm_loops=0, stall_loops=0,
+                             pointer_loops=0, ctrl_regs=0, env_seed=0)
+    assert attempts > 0
+
+
+def test_preserves_failure_relevant_field():
+    # Failure depends only on having >= 2 FUBs: everything else shrinks.
+    spec = CaseSpec(seed=1, n_fubs=4, flops_per_fub=10, fsm_loops=2,
+                    ctrl_regs=2)
+    small, _ = shrink(spec, lambda s: s.n_fubs >= 2)
+    assert small.n_fubs == 2
+    assert small.flops_per_fub == 1
+    assert small.fsm_loops == 0
+    assert small.ctrl_regs == 0
+
+
+def test_circuit_spec_shrinks_with_bool_field():
+    spec = CircuitSpec(seed=3, n_gates=40, n_dffs=8, with_mem=True,
+                       lanes=9, cycles=16, n_faults=4, stim_seed=5)
+    small, _ = shrink(spec, lambda s: True)
+    assert small.with_mem is False
+    assert small.n_gates == 1
+    assert small.lanes == 2
+    assert small.n_faults == 0
+
+
+def test_crashing_predicate_counts_as_failing():
+    spec = CaseSpec(seed=1, flops_per_fub=8)
+
+    def boom(s):
+        raise RuntimeError("builder exploded")
+
+    small, _ = shrink(spec, boom)
+    assert small.flops_per_fub == 1  # crash preserved all the way down
+
+
+def test_attempt_budget_is_respected():
+    spec = CaseSpec(seed=1, n_fubs=4, flops_per_fub=12, fsm_loops=2,
+                    stall_loops=2, ctrl_regs=2, env_seed=50)
+    calls = []
+
+    def predicate(s):
+        calls.append(s)
+        return True
+
+    _, attempts = shrink(spec, predicate, max_attempts=3)
+    assert attempts == 3
+    assert len(calls) == 3
+
+
+def test_already_minimal_spec_needs_no_attempts():
+    spec = CaseSpec(seed=1, n_fubs=1, flops_per_fub=1, struct_width=0,
+                    fsm_loops=0, stall_loops=0, pointer_loops=0,
+                    ctrl_regs=0, env_seed=0)
+    small, attempts = shrink(spec, lambda s: True)
+    assert small == spec
+    assert attempts == 0
+
+
+def test_unshrinkable_type_rejected():
+    with pytest.raises(TypeError):
+        shrink(object(), lambda s: True)  # type: ignore[arg-type]

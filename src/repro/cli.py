@@ -195,12 +195,42 @@ def _backend_name(spec_backend) -> str:
 def cmd_analyze(args) -> int:
     from repro.pipeline.runner import execute
 
+    if args.stream:
+        return _analyze_streamed(args)
     ref = f"exlif:{args.netlist}"
     if args.top:
         ref += f"@top={args.top}"
     spec = RunSpec(design=ref, ports_file=args.ports, sart=_sart_spec(args))
     outcome = execute(spec, store=_store_from_args(args))
     _render_sart(outcome.sart.result, args)
+    return 0
+
+
+def _analyze_streamed(args) -> int:
+    """``analyze --stream``: file -> columnar graph -> compiled solve.
+
+    Skips the Module/Node object model and the artifact cache entirely;
+    this is the mega-scale path for netlists too large to materialize.
+    """
+    import time
+
+    from repro.core.sart import run_sart
+    from repro.netlist.stream import stream_graph
+    from repro.pipeline.runner import sart_config
+
+    if args.top:
+        raise SystemExit("--stream reads single-module files; drop --top")
+    started = time.perf_counter()
+    graph = stream_graph(args.netlist)
+    print(f"streamed {len(graph)} nodes from {args.netlist} "
+          f"in {time.perf_counter() - started:.2f}s")
+    ports = None
+    if args.ports:
+        from repro.pipeline.stages import PipelineContext, stage_ports_file
+
+        ports = stage_ports_file(PipelineContext(), args.ports).ports
+    result = run_sart(graph, ports, sart_config(_sart_spec(args)))
+    _render_sart(result, args)
     return 0
 
 
@@ -331,12 +361,16 @@ def cmd_sweep(args) -> int:
         design=f"bigcore@scale={args.scale},seed={args.seed}",
         workloads=WorkloadsSpec(per_class=args.workloads_per_class,
                                 length=args.workload_length),
-        sweep=SweepSpec(points=args.points),
+        sweep=SweepSpec(points=args.points, batched=args.batched),
     )
 
     def observer(event, info):
         if event == "plan":
             _render_plan_line(info["plan"], info["seconds"])
+        elif event == "sweep:batched":
+            print(f"batched sweep: {info['points']} workloads in "
+                  f"{info['seconds']:.3f}s "
+                  f"({info['nodes_per_second']:,.0f} nodes/s)")
         elif event == "sweep:begin":
             print("loop_pavf  avg_seq_avf  seconds")
         elif event == "sweep:point":
@@ -356,6 +390,8 @@ def cmd_export(args) -> int:
         ref = f"tinycore:{name}"
         if args.parity:
             ref += "@parity=1"
+    elif args.design == "systolic":
+        ref = f"systolic@rows={args.rows},cols={args.cols}"
     else:
         ref = f"bigcore@scale={args.scale},seed={args.seed}"
     spec = RunSpec(
@@ -599,6 +635,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("netlist", help="EXLIF file")
     p.add_argument("--top", help="top module name (default: first in file)")
     p.add_argument("--ports", help="structure pAVF table (name r w [avf])")
+    p.add_argument("--stream", action="store_true",
+                   help="stream the netlist straight to the compiled "
+                        "engine (no object model, no artifact cache; "
+                        "for mega-scale single-module files)")
     common(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -650,7 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_bigcore)
 
     p = sub.add_parser("export", help="write a built-in design as EXLIF/Verilog")
-    p.add_argument("design", choices=("tinycore", "bigcore"))
+    p.add_argument("design", choices=("tinycore", "bigcore", "systolic"))
     p.add_argument("output", help="output file path")
     p.add_argument("--format", choices=("exlif", "verilog"), default="exlif")
     p.add_argument("--program", help="tinycore program to bake into the ROM")
@@ -658,11 +698,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="build the parity-protected tinycore variant")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--rows", type=int, default=8,
+                   help="systolic array rows (systolic design only)")
+    p.add_argument("--cols", type=int, default=8,
+                   help="systolic array columns (systolic design only)")
     cache_opts(p)
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser("sweep", help="loop-boundary pAVF sweep (Figure 8)")
     p.add_argument("--points", type=int, default=11)
+    p.add_argument("--no-batched", dest="batched", action="store_false",
+                   help="evaluate sweep points one run_sart at a time "
+                        "instead of the batched multi-workload kernel")
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--workloads-per-class", type=int, default=2, metavar="N",

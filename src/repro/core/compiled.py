@@ -33,6 +33,7 @@ installed and a pure-Python loop otherwise, with bit-identical results
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import SartError
@@ -69,6 +70,21 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     _np = None
 
 HAVE_NUMPY = _np is not None
+
+# On-disk/artifact format version of compiled plans. v2: shared-memory
+# export layout and the shared-prefix set-id shipping protocol.
+PLAN_FORMAT = 2
+
+# Below this node count a worker pool costs more than it saves (process
+# startup, boundary shipping, per-worker memo warmup), so relaxation
+# auto-selects the serial kernels. Callers can force the pool by passing
+# ``min_parallel_nodes=0``.
+MIN_PARALLEL_NODES = 20_000
+
+
+class SmallDesignSerialWarning(UserWarning):
+    """``workers > 1`` requested for a design too small to benefit."""
+
 
 _EMPTY_ID = SetInterner.EMPTY_ID
 _TOP_ID = SetInterner.TOP_ID
@@ -269,18 +285,21 @@ class SolvePlan:
         return plan
 
     def _lower_connectivity(self) -> None:
-        graph = self.graph
-        names = self.names = list(graph.nodes)
-        ids = self.ids = {net: i for i, net in enumerate(names)}
+        # The graph serves its interned CSR directly (columnar graphs
+        # share their arrays; dict graphs build them once here).
+        names, fanin_ptr, fanin_ix = self.graph.csr_connectivity()
+        self.names = names
+        self.fanin_ptr = fanin_ptr
+        self.fanin_ix = fanin_ix
         self.n = n = len(names)
-        fanin_ptr, fanin_ix = self.fanin_ptr, self.fanin_ix
+        graph_ids = getattr(self.graph, "ids", None)
+        if graph_ids is not None and len(graph_ids) == n:
+            self.ids = graph_ids
+        else:
+            self.ids = {net: i for i, net in enumerate(names)}
         outdeg = [0] * n
-        for net in names:
-            for src in graph.nodes[net].fanin:
-                sid = ids[src]
-                fanin_ix.append(sid)
-                outdeg[sid] += 1
-            fanin_ptr.append(len(fanin_ix))
+        for sid in fanin_ix:
+            outdeg[sid] += 1
         fanout_ptr = self.fanout_ptr
         total = 0
         for d in outdeg:
@@ -304,7 +323,7 @@ class SolvePlan:
         n = self.n
         ids, names = self.ids, self.names
         fanin_ptr, fanin_ix = self.fanin_ptr, self.fanin_ix
-        nodes = self.graph.nodes
+        kinds = self.graph.kind_column()
         is_cut = bytearray(n)
         for net in cut:
             nid = ids.get(net)
@@ -330,7 +349,7 @@ class SolvePlan:
             seq = [
                 names[m]
                 for m in component
-                if nodes[names[m]].kind == NodeKind.SEQ
+                if kinds[m] == NodeKind.SEQ
             ]
             if not seq:
                 raise SartError(
@@ -422,11 +441,8 @@ class SolvePlan:
         # topological order of the full graph).
         fub_ix: dict[str, int] = {}
         fub_of = self.fub_of = [0] * n
-        fub_l = self.fub_l = [""] * n
-        graph_nodes = self.graph.nodes
-        for nid, net in enumerate(self.names):
-            fub = graph_nodes[net].fub
-            fub_l[nid] = fub
+        fub_l = self.fub_l = list(self.graph.fub_column())
+        for nid, fub in enumerate(fub_l):
             ix = fub_ix.get(fub)
             if ix is None:
                 ix = fub_ix[fub] = len(fub_ix)
@@ -514,22 +530,21 @@ class SolvePlan:
 
         struct_ids = {self.ids[net] for net in self.model.struct_nodes}
         self.fub_seq = [[] for _ in self.fub_names]
-        nodes = self.graph.nodes
-        for nid, net in enumerate(self.names):
-            if nodes[net].kind == NodeKind.SEQ and nid not in struct_ids:
+        kinds = self.graph.kind_column()
+        for nid in range(self.n):
+            if kinds[nid] == NodeKind.SEQ and nid not in struct_ids:
                 self.fub_seq[fub_of[nid]].append(nid)
 
     def _build_resolution_metadata(self) -> None:
-        model, names, nodes = self.model, self.names, self.graph.nodes
-        kind_l = self.kind_l = [""] * self.n
+        model, names = self.model, self.names
+        kind_l = self.kind_l = list(self.graph.kind_column())
         role_l = self.role_l = [ROLE_LOGIC] * self.n
         mode_l = self.mode_l = [_MODE_MIN] * self.n
         special_l = self.special_l = [None] * self.n
         # visited is forced True for struct/loop/ctrl/mem nodes.
         self.forced_visited = forced = bytearray(self.n)
         for nid, net in enumerate(names):
-            node = nodes[net]
-            kind_l[nid] = node.kind
+            kind = kind_l[nid]
             if net in model.struct_nodes:
                 role_l[nid] = ROLE_STRUCT
                 mode_l[nid] = _MODE_STRUCT
@@ -545,11 +560,11 @@ class SolvePlan:
                 mode_l[nid] = _MODE_ATOM
                 special_l[nid] = Atom(CTRL, net)
                 forced[nid] = 1
-            elif node.kind == NodeKind.CONST:
+            elif kind == NodeKind.CONST:
                 role_l[nid] = ROLE_CONST
-            elif node.kind == NodeKind.INPUT:
+            elif kind == NodeKind.INPUT:
                 role_l[nid] = ROLE_INPUT
-            elif node.kind == NodeKind.MEM_RDATA:
+            elif kind == NodeKind.MEM_RDATA:
                 role_l[nid] = ROLE_MEM
                 forced[nid] = 1
 
@@ -757,9 +772,18 @@ class SolvePlan:
 _POOL_PLAN: SolvePlan | None = None
 
 
-def _pool_init(plan: SolvePlan) -> None:
-    """Worker-process initializer: adopt the pickled plan once."""
+def _pool_init(payload) -> None:
+    """Worker-process initializer: adopt the shipped plan once.
+
+    *payload* is whatever :func:`repro.core.shmplan.export_plan` produced
+    — a shared-memory handle the worker attaches to in place (zero-copy),
+    a slim pickled plan (no-numpy fallback), or, for backward
+    compatibility, a bare :class:`SolvePlan`.
+    """
+    from repro.core import shmplan
+
     global _POOL_PLAN
+    plan = shmplan.adopt_payload(payload)
     _POOL_PLAN = plan
     plan._w_f_bnd = [_TOP_ID] * plan.n
     plan._w_b_bnd = [_TOP_ID] * plan.n
@@ -773,26 +797,37 @@ def _pool_solve_fub(task):
     Pure function of (plan, task): workers at any count produce identical
     results, and the master folds them back in submission order — the
     same determinism contract as :mod:`repro.sfi.parallel`.
+
+    Boundary imports arrive and results return as plain interned set ids
+    whenever the id predates the plan export (master and workers agree on
+    every id below the shared prefix); only sets minted after the
+    snapshot travel as raw frozensets. Warm re-solves therefore ship
+    almost no set contents at all.
     """
     fub_idx, f_items, b_items, max_terms, dangling = task
     plan = _POOL_PLAN
     intern = plan.interner.id_of
     sets = plan.interner.sets
+    prefix = plan._shared_prefix
     f_bnd, b_bnd = plan._w_f_bnd, plan._w_b_bnd
-    for nid, atoms in f_items:
-        f_bnd[nid] = intern(atoms)
-    for nid, atoms in b_items:
-        b_bnd[nid] = intern(atoms)
+    for nid, val in f_items:
+        f_bnd[nid] = intern(val) if isinstance(val, frozenset) else val
+    for nid, val in b_items:
+        b_bnd[nid] = intern(val) if isinstance(val, frozenset) else val
     f_out, b_out = plan._w_f_out, plan._w_b_out
     forder = plan.fub_forder[fub_idx]
     border = plan.fub_border[fub_idx]
     plan._forward_pass(forder, fub_idx, f_bnd, f_out, max_terms)
     plan._backward_pass(border, fub_idx, b_bnd, b_out, max_terms, dangling)
-    return (
-        fub_idx,
-        [(nid, sets[f_out[nid]]) for nid in forder],
-        [(nid, sets[b_out[nid]]) for nid in border],
-    )
+    out_f = []
+    for nid in forder:
+        sid = int(f_out[nid])
+        out_f.append((nid, sid if sid < prefix else sets[sid]))
+    out_b = []
+    for nid in border:
+        sid = int(b_out[nid])
+        out_b.append((nid, sid if sid < prefix else sets[sid]))
+    return (fub_idx, out_f, out_b)
 
 
 def relax_compiled(
@@ -805,6 +840,7 @@ def relax_compiled(
     max_terms: int = 0,
     dangling: str = "unace",
     workers: int = 1,
+    min_parallel_nodes: int | None = None,
 ) -> tuple[list[int], list[int], RelaxationTrace]:
     """Jacobi relaxation across FUB partitions on the compiled kernels.
 
@@ -817,6 +853,15 @@ def relax_compiled(
       reproduce its previous sets verbatim), and
     * with ``workers > 1`` the independent per-iteration FUB solves run
       on a process pool, folded back in deterministic submission order.
+
+    Workers never unpickle the plan: it is exported once through
+    :func:`repro.core.shmplan.export_plan` — a shared-memory segment the
+    workers attach to (or a slim pickle without numpy) — and boundary
+    values/results travel as interned set ids under the export's shared
+    prefix. Designs below *min_parallel_nodes* (default
+    :data:`MIN_PARALLEL_NODES`, ``0`` disables the guard) fall back to
+    the serial kernels with a :class:`SmallDesignSerialWarning`, because
+    pool overhead dominates at small scale.
 
     The pool runs on the fault-tolerant campaign runtime
     (:class:`repro.sfi.runtime.ResilientPool`): a dead worker respawns
@@ -839,11 +884,30 @@ def relax_compiled(
     trace = RelaxationTrace()
     dirty: list[int] = list(range(n_fubs))
     workers = max(1, int(workers or 1))
+    threshold = (
+        MIN_PARALLEL_NODES if min_parallel_nodes is None else int(min_parallel_nodes)
+    )
+    if workers > 1 and 0 < n < threshold:
+        warnings.warn(
+            f"ignoring workers={workers}: the {n}-node design is below the "
+            f"{threshold}-node parallel threshold, so process-pool overhead "
+            "would dominate; relaxing serially (pass min_parallel_nodes=0 "
+            "to force the pool)",
+            SmallDesignSerialWarning,
+            stacklevel=2,
+        )
+        workers = 1
     pool: ResilientPool | None = None
+    segment = None
+    shared_prefix = 0
     try:
         if workers > 1 and n_fubs > 1:
+            from repro.core import shmplan
+
+            segment = shmplan.export_plan(plan)
+            shared_prefix = segment.shared_prefix
             pool = ResilientPool(
-                _pool_init, plan,
+                _pool_init, segment.payload,
                 workers=min(workers, n_fubs),
                 max_pool_restarts=2,
                 label="relaxation",
@@ -864,11 +928,17 @@ def relax_compiled(
             # faster serial path (no boundary shipping / interning).
             if pool is not None and not pool.degraded and len(dirty) > 1:
                 sets = interner.sets
+
+                def _ship(sid, _sets=sets, _n0=shared_prefix):
+                    # Ids below the export prefix mean the same set on
+                    # both sides; newer sets must travel by content.
+                    return sid if sid < _n0 else _sets[sid]
+
                 tasks = [
                     (
                         f,
-                        [(nid, sets[f_bnd[nid]]) for nid in f_imp_by_fub[f]],
-                        [(nid, sets[b_bnd[nid]]) for nid in b_imp_by_fub[f]],
+                        [(nid, _ship(f_bnd[nid])) for nid in f_imp_by_fub[f]],
+                        [(nid, _ship(b_bnd[nid])) for nid in b_imp_by_fub[f]],
                         max_terms,
                         dangling,
                     )
@@ -888,10 +958,10 @@ def relax_compiled(
                     raise SartError(f"relaxation solve failed: {exc}") from exc
                 intern = interner.id_of
                 for fub_idx, f_items, b_items in results:
-                    for nid, atoms in f_items:
-                        f_out[nid] = intern(atoms)
-                    for nid, atoms in b_items:
-                        b_out[nid] = intern(atoms)
+                    for nid, val in f_items:
+                        f_out[nid] = intern(val) if isinstance(val, frozenset) else val
+                    for nid, val in b_items:
+                        b_out[nid] = intern(val) if isinstance(val, frozenset) else val
             else:
                 for f in dirty:
                     plan._forward_pass(plan.fub_forder[f], f, f_bnd, f_out, max_terms)
@@ -937,6 +1007,8 @@ def relax_compiled(
     finally:
         if pool is not None:
             pool.close()
+        if segment is not None:
+            segment.close()
     return f_out, b_out, trace
 
 

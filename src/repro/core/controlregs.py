@@ -20,7 +20,7 @@ from __future__ import annotations
 import re
 from typing import Iterable
 
-from repro.netlist.graph import NetGraph, NodeKind
+from repro.netlist.graph import NetGraph
 
 DEFAULT_PATTERNS: tuple[str, ...] = (
     r"(^|[_/])cfg([_/\[]|$)",
@@ -42,13 +42,13 @@ def find_control_registers(
     compiled = [re.compile(p) for p in patterns]
     excluded = set(exclude)
     found: set[str] = set()
-    for node in graph.nodes.values():
-        if node.kind != NodeKind.SEQ or node.net in excluded:
+    for net, inst, attrs in graph.seq_items():
+        if net in excluded:
             continue
-        if node.attrs.get("ctrlreg"):
-            found.add(node.net)
+        if attrs.get("ctrlreg"):
+            found.add(net)
             continue
-        subject = f"{node.inst or ''} {node.net}"
+        subject = f"{inst or ''} {net}"
         if any(rx.search(subject) for rx in compiled):
-            found.add(node.net)
+            found.add(net)
     return found

@@ -128,11 +128,7 @@ def structure_nets(
     passing through them are not propagation loops — callers compute this
     set before loop classification and pass it as the SCC *cut*.
     """
-    nets = {
-        net
-        for net, node in graph.nodes.items()
-        if node.kind == NodeKind.SEQ and "struct" in node.attrs
-    }
+    nets = {net for net, _attrs in graph.struct_tagged()}
     if extra_struct_bits:
         nets.update(extra_struct_bits)
     return nets
@@ -175,15 +171,14 @@ def build_model(
     # structure bits from DFF attributes and explicit bindings
     # ------------------------------------------------------------------
     bindings: dict[str, tuple[str, int]] = dict(extra_struct_bits or {})
-    for node in graph.nodes.values():
-        if node.kind == NodeKind.SEQ and "struct" in node.attrs:
-            try:
-                bit = int(node.attrs.get("bit", "0"))
-            except ValueError as exc:
-                raise MappingError(
-                    f"node {node.net!r}: bad struct bit {node.attrs.get('bit')!r}"
-                ) from exc
-            bindings[node.net] = (node.attrs["struct"], bit)
+    for net, attrs in graph.struct_tagged():
+        try:
+            bit = int(attrs.get("bit", "0"))
+        except ValueError as exc:
+            raise MappingError(
+                f"node {net!r}: bad struct bit {attrs.get('bit')!r}"
+            ) from exc
+        bindings[net] = (attrs["struct"], bit)
 
     for net, (sname, bit) in bindings.items():
         node = graph.nodes.get(net)
@@ -254,11 +249,10 @@ def build_model(
     # ------------------------------------------------------------------
     # constants and the RTL boundary pseudo-structure
     # ------------------------------------------------------------------
-    for node in graph.nodes.values():
-        if node.kind == NodeKind.CONST:
-            model.forward_fixed.setdefault(node.net, frozenset((Atom(CONST, node.net),)))
-        elif node.kind == NodeKind.INPUT:
-            model.forward_fixed.setdefault(node.net, frozenset((Atom(BOUNDARY, node.net),)))
+    for net in graph.const_nets():
+        model.forward_fixed.setdefault(net, frozenset((Atom(CONST, net),)))
+    for net in graph.input_nets():
+        model.forward_fixed.setdefault(net, frozenset((Atom(BOUNDARY, net),)))
     for net in graph.outputs:
         model.add_sink(net, Atom(BOUNDARY, net))
 

@@ -43,7 +43,7 @@ from repro.core.report import DesignReport, fub_report
 from repro.core.resolve import NodeAvf, resolve
 from repro.core.symbolic import ClosedForm, atom_value
 from repro.core.walker import WalkEngine, fill_unvisited
-from repro.netlist.graph import NetGraph, NodeKind, extract_graph
+from repro.netlist.graph import NetGraph, extract_graph
 from repro.netlist.netlist import Module
 
 ENGINE_COMPILED = "compiled"
@@ -82,6 +82,10 @@ class SartConfig:
     # Worker processes for compiled partitioned relaxation (1 = in-process;
     # results are identical at any count).
     workers: int = 1
+    # Auto-serial guard: designs below this node count ignore ``workers``
+    # (pool overhead dominates). None = the engine default
+    # (repro.core.compiled.MIN_PARALLEL_NODES); 0 always honors workers.
+    min_parallel_nodes: int | None = None
     # 0 keeps exact symbolic sets (closed-form capable); >0 collapses
     # oversized sets to TOP as a memory guard.
     max_terms: int = 0
@@ -150,10 +154,8 @@ def build_env(model: AvfModel, config: SartConfig) -> PavfEnv:
             continue
         env.bind(atom, atom_value(ports, role, bit))
     overrides = config.boundary_overrides or {}
-    for net in model.graph.nodes:
-        node = model.graph.nodes[net]
-        if node.kind == NodeKind.INPUT:
-            env.bind(Atom(BOUNDARY, net), overrides.get(net, config.boundary_in_pavf))
+    for net in model.graph.input_nets():
+        env.bind(Atom(BOUNDARY, net), overrides.get(net, config.boundary_in_pavf))
     for net in model.graph.outputs:
         env.bind(Atom(BOUNDARY, net), overrides.get(net, config.boundary_out_pavf))
     return env
@@ -261,6 +263,7 @@ def run_sart(
                 max_terms=config.max_terms,
                 dangling=config.dangling,
                 workers=config.workers,
+                min_parallel_nodes=config.min_parallel_nodes,
             )
         else:
             f_ids, b_ids = plan.solve_monolithic(config.max_terms, config.dangling)

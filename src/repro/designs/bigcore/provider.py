@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.designs.bigcore.core import BigcoreConfig, build_bigcore
+from repro.designs.bigcore.systolic import SystolicConfig, build_systolic
 from repro.pipeline.artifacts import DesignArtifact
 from repro.pipeline.fingerprint import stage_fingerprint
 
@@ -44,6 +45,42 @@ class BigcoreProvider:
         return DesignArtifact(
             ref=self.ref,
             kind="bigcore",
+            fingerprint=self.fingerprint(),
+            module=design.module,
+            design=design,
+        )
+
+
+@dataclass(frozen=True)
+class SystolicProvider:
+    """``systolic[@rows=...,cols=...]`` — the MAC-array scale design."""
+
+    config: SystolicConfig = SystolicConfig()
+
+    @property
+    def ref(self) -> str:
+        c = self.config
+        parts = [f"rows={c.rows}", f"cols={c.cols}"]
+        if c.data_width != 8:
+            parts.append(f"data_width={c.data_width}")
+        if c.acc_width != 16:
+            parts.append(f"acc_width={c.acc_width}")
+        if c.tile != 8:
+            parts.append(f"tile={c.tile}")
+        return "systolic@" + ",".join(parts)
+
+    def fingerprint(self) -> str:
+        c = self.config
+        return stage_fingerprint(
+            "design", "systolic", c.rows, c.cols, c.data_width, c.acc_width,
+            c.tile,
+        )
+
+    def build(self) -> DesignArtifact:
+        design = build_systolic(self.config)
+        return DesignArtifact(
+            ref=self.ref,
+            kind="systolic",
             fingerprint=self.fingerprint(),
             module=design.module,
             design=design,

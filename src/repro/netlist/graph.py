@@ -115,6 +115,54 @@ class NetGraph:
             by_fub.setdefault(node.fub, []).append(node.net)
         return by_fub
 
+    # ------------------------------------------------------------------
+    # Columnar views. The compiled lowering consumes the graph through
+    # these accessors so a streaming subclass (netlist.stream.CsrNetGraph)
+    # can serve them straight from arrays without materializing one Node
+    # object per net.
+    # ------------------------------------------------------------------
+    def csr_connectivity(self) -> tuple[list[str], list[int], list[int]]:
+        """``(names, fanin_ptr, fanin_ix)`` — the interned fan-in CSR.
+
+        ``names`` is the node order (dense id -> net); ``fanin_ix`` holds
+        dense driver ids, rows delimited by ``fanin_ptr``.
+        """
+        names = list(self.nodes)
+        ids = {net: i for i, net in enumerate(names)}
+        ptr = [0]
+        ix: list[int] = []
+        for net in names:
+            for src in self.nodes[net].fanin:
+                ix.append(ids[src])
+            ptr.append(len(ix))
+        return names, ptr, ix
+
+    def kind_column(self) -> list[str]:
+        """Node kinds aligned with ``list(self.nodes)`` order."""
+        return [node.kind for node in self.nodes.values()]
+
+    def fub_column(self) -> list[str]:
+        """FUB tags aligned with ``list(self.nodes)`` order."""
+        return [node.fub for node in self.nodes.values()]
+
+    def struct_tagged(self):
+        """Yield ``(net, attrs)`` of SEQ nodes carrying a ``struct`` attr."""
+        for node in self.nodes.values():
+            if node.kind == NodeKind.SEQ and "struct" in node.attrs:
+                yield node.net, node.attrs
+
+    def seq_items(self):
+        """Yield ``(net, inst, attrs)`` for every sequential node."""
+        for node in self.nodes.values():
+            if node.kind == NodeKind.SEQ:
+                yield node.net, node.inst, node.attrs
+
+    def input_nets(self) -> list[str]:
+        return [n.net for n in self.nodes.values() if n.kind == NodeKind.INPUT]
+
+    def const_nets(self) -> list[str]:
+        return [n.net for n in self.nodes.values() if n.kind == NodeKind.CONST]
+
     def __len__(self) -> int:
         return len(self.nodes)
 

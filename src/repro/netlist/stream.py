@@ -1,0 +1,412 @@
+"""Streaming EXLIF reader: file -> columnar :class:`CsrNetGraph`.
+
+``extract_graph(parse_exlif(text))`` materializes a :class:`Module`, an
+:class:`Instance` per gate, and a :class:`~repro.netlist.graph.Node` per
+net — three Python objects and several dicts per node. At the 10^6-node
+scale the compiled engine targets, that intermediate representation
+costs more memory than the solve itself.
+
+:func:`stream_graph` parses EXLIF line by line and lowers each directive
+straight into the columnar arrays the compiled engine consumes
+(``names``, fan-in CSR, kind/fub columns), never holding more than one
+line's worth of parse state. The result is a :class:`CsrNetGraph` — a
+:class:`~repro.netlist.graph.NetGraph` subclass whose ``nodes`` mapping
+builds lightweight :class:`~repro.netlist.graph.Node` views on demand,
+so every existing dict-style consumer still works, while the columnar
+accessors (``csr_connectivity``, ``kind_column``, …) are served from the
+arrays with no per-node objects at all.
+
+Net ids are assigned in *driven* order (matching ``extract_graph``'s
+node order exactly, so plans built from either path are identical), but
+nets may be referenced before they are driven — the parser interns nets
+on first mention and remaps mention ids to node ids at ``.end``.
+
+Per-node memory: one interned name string, one pointer each into the
+kind/fub/cell columns, and the CSR fan-in ints. Instance names are kept
+only where they differ from the driven net (generated netlists name the
+gate after its output, so the dict stays near-empty) and attribute
+dicts only for nodes that carry ``@`` attributes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Iterator, Mapping
+
+from repro.errors import ExlifParseError, NetlistError
+from repro.netlist.cells import CELLS, mem_addr_bits
+from repro.netlist.graph import MemInfo, MemReadPort, NetGraph, Node, NodeKind
+
+
+class _NodeViews(Mapping):
+    """Lazy ``net -> Node`` mapping over a :class:`CsrNetGraph`.
+
+    Views are constructed per access and not cached: iteration over a
+    mega-scale graph must not pin one object per node.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "CsrNetGraph"):
+        self._graph = graph
+
+    def __getitem__(self, net: str) -> Node:
+        nid = self._graph.ids.get(net)
+        if nid is None:
+            raise KeyError(net)
+        return self._graph.node_view(nid)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._graph.names)
+
+    def __len__(self) -> int:
+        return len(self._graph.names)
+
+    def __contains__(self, net) -> bool:
+        return net in self._graph.ids
+
+
+class CsrNetGraph(NetGraph):
+    """A :class:`NetGraph` stored as columns instead of Node objects.
+
+    Attributes:
+        names: Dense node id -> net name (driven order).
+        ids: Net name -> dense node id.
+        kinds / fubs / cells: Per-node columns aligned with ``names``.
+        fanin_ptr / fanin_ix: Fan-in CSR over dense ids.
+        insts: node id -> instance name, only where it differs from the
+            net (the view defaults to the net; INPUT nodes have none).
+        node_attrs: node id -> attribute dict (tagged nodes only).
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.names: list[str] = []
+        self.ids: dict[str, int] = {}
+        self.kinds: list[str] = []
+        self.fubs: list[str] = []
+        self.cells: list[str | None] = []
+        self.fanin_ptr: list[int] = [0]
+        self.fanin_ix: list[int] = []
+        self.insts: dict[int, str] = {}
+        self.node_attrs: dict[int, dict[str, str]] = {}
+        self.nodes = _NodeViews(self)  # type: ignore[assignment]
+
+    # -- per-node views -------------------------------------------------
+    def node_view(self, nid: int) -> Node:
+        lo, hi = self.fanin_ptr[nid], self.fanin_ptr[nid + 1]
+        names = self.names
+        kind = self.kinds[nid]
+        inst = self.insts.get(nid)
+        if inst is None and kind != NodeKind.INPUT:
+            inst = names[nid]
+        return Node(
+            net=names[nid],
+            kind=kind,
+            inst=inst,
+            cell=self.cells[nid],
+            fub=self.fubs[nid],
+            attrs=self.node_attrs.get(nid, {}),
+            fanin=tuple(names[j] for j in self.fanin_ix[lo:hi]),
+        )
+
+    # -- columnar accessors (served straight from the arrays) -----------
+    def csr_connectivity(self) -> tuple[list[str], list[int], list[int]]:
+        return self.names, self.fanin_ptr, self.fanin_ix
+
+    def kind_column(self) -> list[str]:
+        return self.kinds
+
+    def fub_column(self) -> list[str]:
+        return self.fubs
+
+    def struct_tagged(self):
+        seq = NodeKind.SEQ
+        kinds, names = self.kinds, self.names
+        for nid, attrs in self.node_attrs.items():
+            if kinds[nid] == seq and "struct" in attrs:
+                yield names[nid], attrs
+
+    def seq_items(self):
+        seq = NodeKind.SEQ
+        empty: dict[str, str] = {}
+        names, insts, attrs = self.names, self.insts, self.node_attrs
+        for nid, kind in enumerate(self.kinds):
+            if kind == seq:
+                yield names[nid], insts.get(nid, names[nid]), attrs.get(nid, empty)
+
+    def input_nets(self) -> list[str]:
+        kind = NodeKind.INPUT
+        return [net for net, k in zip(self.names, self.kinds) if k == kind]
+
+    def const_nets(self) -> list[str]:
+        kind = NodeKind.CONST
+        return [net for net, k in zip(self.names, self.kinds) if k == kind]
+
+    def seq_nets(self) -> list[str]:
+        kind = NodeKind.SEQ
+        return [net for net, k in zip(self.names, self.kinds) if k == kind]
+
+    def comb_nets(self) -> list[str]:
+        kind = NodeKind.COMB
+        return [net for net, k in zip(self.names, self.kinds) if k == kind]
+
+    def nets_by_fub(self) -> dict[str, list[str]]:
+        by_fub: dict[str, list[str]] = {}
+        for net, fub in zip(self.names, self.fubs):
+            by_fub.setdefault(fub, []).append(net)
+        return by_fub
+
+    def fanout(self) -> dict[str, list[str]]:
+        if self._fanout is None:
+            names = self.names
+            fo: dict[str, list[str]] = {net: [] for net in names}
+            ptr, ix = self.fanin_ptr, self.fanin_ix
+            for nid, net in enumerate(names):
+                for i in range(ptr[nid], ptr[nid + 1]):
+                    fo[names[ix[i]]].append(net)
+            self._fanout = fo
+        return self._fanout
+
+
+class _Builder:
+    """One ``.model`` block being lowered.
+
+    Nets are interned to *mention* ids on first sight (drivers may appear
+    after consumers); the fan-in CSR is built over mention ids and
+    remapped to dense node ids — assigned in driven order — at finalize.
+    """
+
+    def __init__(self, name: str):
+        self.graph = CsrNetGraph(name)
+        self._mention: dict[str, int] = {}
+        self._mnames: list[str] = []
+        self._node_of: list[int] = []      # mention id -> node id (-1: undriven)
+        self._order: list[int] = []        # node id -> mention id
+        self._row: list[int] = []          # fan-in CSR over mention ids
+        self._kind_pool: dict[str, str] = {}
+
+    def mention(self, net: str) -> int:
+        mid = self._mention.get(net)
+        if mid is None:
+            mid = self._mention[net] = len(self._mnames)
+            self._mnames.append(net)
+            self._node_of.append(-1)
+        return mid
+
+    def add_node(
+        self,
+        net: str,
+        kind: str,
+        fanin: Iterable[str],
+        *,
+        fub: str = "",
+        cell: str | None = None,
+        inst: str | None = None,
+        attrs: dict[str, str] | None = None,
+        lineno: int = 0,
+    ) -> int:
+        mid = self.mention(net)
+        if self._node_of[mid] >= 0:
+            raise ExlifParseError(f"net {net!r} driven twice", lineno)
+        graph = self.graph
+        nid = len(self._order)
+        self._node_of[mid] = nid
+        self._order.append(mid)
+        graph.kinds.append(kind)
+        graph.fubs.append(self._kind_pool.setdefault(fub, fub))
+        graph.cells.append(cell)
+        for src in fanin:
+            self._row.append(self.mention(src))
+        graph.fanin_ptr.append(len(self._row))
+        if inst is not None and inst != net:
+            graph.insts[nid] = inst
+        if attrs:
+            graph.node_attrs[nid] = attrs
+        return nid
+
+    def finish(self) -> CsrNetGraph:
+        graph = self.graph
+        node_of, mnames = self._node_of, self._mnames
+        graph.names = [mnames[m] for m in self._order]
+        graph.ids = {net: i for i, net in enumerate(graph.names)}
+        missing = sorted({mnames[m] for m in self._row if node_of[m] < 0})
+        if missing:
+            raise NetlistError(f"graph references undriven nets: {missing[:10]}")
+        graph.fanin_ix = [node_of[m] for m in self._row]
+        return graph
+
+
+def _split_fields(
+    tokens: list[str], lineno: int
+) -> tuple[dict[str, str], dict[str, str]]:
+    fields: dict[str, str] = {}
+    attrs: dict[str, str] = {}
+    for token in tokens:
+        target = attrs if token.startswith("@") else fields
+        body = token[1:] if token.startswith("@") else token
+        if "=" not in body:
+            raise ExlifParseError(f"malformed field {token!r}", lineno)
+        key, value = body.split("=", 1)
+        if key in target:
+            raise ExlifParseError(f"duplicate field {key!r}", lineno)
+        target[key] = value
+    return fields, attrs
+
+
+def _variadic_fanin(conn: dict[str, str], lineno: int) -> list[str]:
+    try:
+        pins = sorted(
+            (q for q in conn if q.startswith("a")), key=lambda q: int(q[1:])
+        )
+    except ValueError as exc:
+        raise ExlifParseError(f"bad variadic pin: {exc}", lineno) from exc
+    return [conn[p] for p in pins]
+
+
+def _add_gate(builder: _Builder, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 4:
+        raise ExlifParseError(".gate needs KIND NAME and pins", lineno)
+    kind, name = tokens[1], tokens[2]
+    spec = CELLS.get(kind)
+    if spec is None or spec.is_sequential:
+        raise ExlifParseError(f"unknown combinational cell {kind!r}", lineno)
+    conn, attrs = _split_fields(tokens[3:], lineno)
+    try:
+        y = conn["y"]
+        if kind in ("CONST0", "CONST1"):
+            builder.add_node(
+                y, NodeKind.CONST, (), fub=attrs.get("fub", ""), cell=kind,
+                inst=name, attrs=attrs, lineno=lineno,
+            )
+            return
+        if spec.variadic:
+            fanin = _variadic_fanin(conn, lineno)
+        else:
+            fanin = [conn[p] for p in spec.inputs]
+    except KeyError as exc:
+        raise ExlifParseError(f".gate {name!r} missing pin {exc}", lineno) from exc
+    builder.add_node(
+        y, NodeKind.COMB, fanin, fub=attrs.get("fub", ""), cell=kind,
+        inst=name, attrs=attrs, lineno=lineno,
+    )
+
+
+def _add_latch(builder: _Builder, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 3:
+        raise ExlifParseError(".latch needs NAME and pins", lineno)
+    name = tokens[1]
+    fields, attrs = _split_fields(tokens[2:], lineno)
+    fields.pop("init", None)
+    if "d" not in fields or "q" not in fields:
+        raise ExlifParseError(".latch requires d= and q=", lineno)
+    q = fields["q"]
+    fanin = [fields["d"]]
+    if "en" in fields:
+        # Hold path: enable mux feeds Q back to D (see graph module docs).
+        fanin.extend([fields["en"], q])
+    builder.add_node(
+        q, NodeKind.SEQ, fanin, fub=attrs.get("fub", ""), cell="DFF",
+        inst=name, attrs=attrs, lineno=lineno,
+    )
+
+
+def _add_mem(builder: _Builder, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 3:
+        raise ExlifParseError(".mem needs NAME and fields", lineno)
+    name = tokens[1]
+    fields, attrs = _split_fields(tokens[2:], lineno)
+    try:
+        depth = int(fields.pop("depth"))
+        width = int(fields.pop("width"))
+        nread = int(fields.pop("nread", "1"))
+    except KeyError as exc:
+        raise ExlifParseError(f".mem missing parameter {exc}", lineno) from exc
+    fields.pop("init", None)
+    abits = mem_addr_bits(depth)
+    fub = attrs.get("fub", "")
+    try:
+        ports = []
+        for p in range(nread):
+            addr = [fields[f"raddr{p}_{i}"] for i in range(abits)]
+            data = [fields[f"rdata{p}_{i}"] for i in range(width)]
+            ports.append(MemReadPort(addr=addr, data=data))
+            for net in data:
+                builder.add_node(
+                    net, NodeKind.MEM_RDATA, (), fub=fub, cell="MEM",
+                    inst=name, attrs=attrs, lineno=lineno,
+                )
+        info = MemInfo(
+            inst=name, depth=depth, width=width, fub=fub, attrs=attrs,
+            read_ports=ports,
+            waddr=[fields[f"waddr_{i}"] for i in range(abits)],
+            wdata=[fields[f"wdata_{i}"] for i in range(width)],
+            wen=fields["wen"],
+        )
+    except KeyError as exc:
+        raise ExlifParseError(f".mem {name!r} missing pin {exc}", lineno) from exc
+    builder.graph.mems[name] = info
+
+
+def stream_graph(source: str | os.PathLike | IO[str] | Iterable[str]) -> CsrNetGraph:
+    """Parse one EXLIF ``.model`` block straight into a :class:`CsrNetGraph`.
+
+    *source* is a path or an open text stream / iterable of lines. The
+    file is consumed once, line by line; peak memory is the columnar
+    arrays plus one line of parse state. Produces exactly the graph
+    ``extract_graph(parse_exlif(text)[name])`` would — same node order,
+    same connectivity — without the Module/Instance/Node intermediates.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", buffering=1 << 20) as handle:
+            return _stream_lines(handle)
+    return _stream_lines(source)
+
+
+def _stream_lines(lines: Iterable[str]) -> CsrNetGraph:
+    builder: _Builder | None = None
+    done: CsrNetGraph | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == ".model":
+            if builder is not None:
+                raise ExlifParseError("nested .model (missing .end?)", lineno)
+            if done is not None:
+                raise ExlifParseError(
+                    "stream_graph reads a single-module file", lineno
+                )
+            if len(tokens) != 2:
+                raise ExlifParseError(".model needs exactly one name", lineno)
+            builder = _Builder(tokens[1])
+            continue
+        if builder is None:
+            raise ExlifParseError(f"directive {directive!r} outside .model", lineno)
+        if directive == ".end":
+            done = builder.finish()
+            builder = None
+        elif directive == ".inputs":
+            for net in tokens[1:]:
+                builder.add_node(net, NodeKind.INPUT, (), lineno=lineno)
+        elif directive == ".outputs":
+            builder.graph.outputs.extend(tokens[1:])
+        elif directive == ".gate":
+            _add_gate(builder, tokens, lineno)
+        elif directive == ".latch":
+            _add_latch(builder, tokens, lineno)
+        elif directive == ".mem":
+            _add_mem(builder, tokens, lineno)
+        elif directive == ".subckt":
+            raise ExlifParseError(
+                "stream_graph requires a flat module (.subckt unsupported)", lineno
+            )
+        else:
+            raise ExlifParseError(f"unknown directive {directive!r}", lineno)
+    if builder is not None:
+        raise ExlifParseError(f"module {builder.graph.name!r} not terminated by .end")
+    if done is None:
+        raise ExlifParseError("no .model block found")
+    return done

@@ -98,11 +98,17 @@ class PortEnv:
 
 @dataclass(frozen=True)
 class PlanArtifact:
-    """A reusable compiled SolvePlan with its provenance fingerprint."""
+    """A reusable compiled SolvePlan with its provenance fingerprint.
+
+    ``format`` is the on-disk plan layout version
+    (:data:`repro.core.compiled.PLAN_FORMAT`); it travels with cached
+    artifacts so stale store entries from older layouts are detectable.
+    """
 
     fingerprint: str
     plan: Any                    # repro.core.compiled.SolvePlan
     cached: bool = field(default=False, compare=False)
+    format: int = 2              # repro.core.compiled.PLAN_FORMAT at build
 
     @property
     def n(self) -> int:

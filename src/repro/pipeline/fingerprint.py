@@ -35,7 +35,7 @@ STAGE_VERSIONS: dict[str, int] = {
     "golden": 1,
     "ports": 1,
     "ace": 1,
-    "plan": 1,
+    "plan": 2,   # v2: shm-transportable plans + batched kernels (PLAN_FORMAT)
     "sart": 1,
     "sfi": 1,
     "beam": 1,

@@ -15,6 +15,7 @@ and one reference grammar resolved by :func:`resolve_design`::
 
     tinycore:<program>[@parity=1]     e.g.  tinycore:fib
     bigcore[@key=value,...]           e.g.  bigcore@scale=2,seed=42
+    systolic[@key=value,...]          e.g.  systolic@rows=32,cols=32
     exlif:<path>[@top=<module>]       e.g.  exlif:designs/core.exlif@top=cpu
 
 Concrete providers for the built-in designs live with the designs
@@ -155,6 +156,23 @@ def _make_bigcore(body: str, params: dict[str, str], ref: str) -> DesignProvider
     return BigcoreProvider(config=config)
 
 
+def _make_systolic(body: str, params: dict[str, str], ref: str) -> DesignProvider:
+    from repro.designs.bigcore.provider import SystolicProvider
+    from repro.designs.bigcore.systolic import SystolicConfig
+
+    if body:
+        raise DesignRefError(f"{ref!r}: systolic takes @key=value parameters only")
+    config = SystolicConfig(
+        rows=_coerce(params, "rows", int, 8),
+        cols=_coerce(params, "cols", int, 8),
+        data_width=_coerce(params, "data_width", int, 8),
+        acc_width=_coerce(params, "acc_width", int, 16),
+        tile=_coerce(params, "tile", int, 8),
+    )
+    _reject_unknown(params, ref)
+    return SystolicProvider(config=config)
+
+
 def _make_exlif(body: str, params: dict[str, str], ref: str) -> DesignProvider:
     if not body:
         raise DesignRefError(f"{ref!r}: exlif needs a path (exlif:<path>)")
@@ -166,6 +184,7 @@ def _make_exlif(body: str, params: dict[str, str], ref: str) -> DesignProvider:
 _SCHEMES: dict[str, Callable[[str, dict[str, str], str], DesignProvider]] = {
     "tinycore": _make_tinycore,
     "bigcore": _make_bigcore,
+    "systolic": _make_systolic,
     "exlif": _make_exlif,
 }
 

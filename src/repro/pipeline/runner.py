@@ -57,8 +57,25 @@ class SweepPoint:
     """One evaluated point of the loop-boundary pAVF sweep."""
 
     value: float
-    result: object               # SartResult
+    result: object               # SartResult or BatchedSweepResult
     seconds: float
+
+
+@dataclass
+class BatchedSweepResult:
+    """One sweep point's slice of a batched multi-workload evaluation.
+
+    Exposes the same ``.report`` consumers read off a SartResult; the
+    full per-node resolution is materialized on demand (it is the only
+    per-point cost the batched path skips).
+    """
+
+    report: object               # DesignReport
+    batch: object                # repro.core.batched.BatchedResult
+    index: int
+
+    def node_avfs(self):
+        return self.batch.node_avfs(self.index)
 
 
 @dataclass
@@ -159,16 +176,42 @@ def execute(
         points = spec.sweep.points
         ctx.notify("sweep:begin", plan=outcome.plan, points=points)
         ports = outcome.port_env.ports if outcome.port_env else None
-        for i in range(points):
-            value = i / (points - 1) if points > 1 else 0.0
-            config = SartConfig(loop_pavf=value, partition_by_fub=False)
+        values = [i / (points - 1) if points > 1 else 0.0
+                  for i in range(points)]
+        if spec.sweep.batched:
+            from repro.core.batched import sweep_batched
+
+            plan = outcome.plan.plan
             started = time.perf_counter()
-            result = run_sart(design.module, ports, config,
-                              plan=outcome.plan.plan)
+            batch = sweep_batched(
+                plan, values, SartConfig(partition_by_fub=False)
+            )
             elapsed = time.perf_counter() - started
-            outcome.sweep.append(SweepPoint(value, result, elapsed))
-            ctx.notify("sweep:point", value=value, result=result,
-                       seconds=elapsed)
+            ctx.notify(
+                "sweep:batched", points=points, seconds=elapsed,
+                nodes=plan.n,
+                nodes_per_second=(
+                    plan.n * points / elapsed if elapsed > 0 else 0.0
+                ),
+            )
+            share = elapsed / points if points else 0.0
+            for w, value in enumerate(values):
+                result = BatchedSweepResult(
+                    report=batch.report(w), batch=batch, index=w
+                )
+                outcome.sweep.append(SweepPoint(value, result, share))
+                ctx.notify("sweep:point", value=value, result=result,
+                           seconds=share)
+        else:
+            for value in values:
+                config = SartConfig(loop_pavf=value, partition_by_fub=False)
+                started = time.perf_counter()
+                result = run_sart(design.module, ports, config,
+                                  plan=outcome.plan.plan)
+                elapsed = time.perf_counter() - started
+                outcome.sweep.append(SweepPoint(value, result, elapsed))
+                ctx.notify("sweep:point", value=value, result=result,
+                           seconds=elapsed)
 
     # --- campaigns -----------------------------------------------------
     if "sfi" in stages:

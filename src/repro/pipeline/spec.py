@@ -60,9 +60,15 @@ class SartSpec:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """Loop-boundary pAVF sweep (``[sweep]``, Figure 8)."""
+    """Loop-boundary pAVF sweep (``[sweep]``, Figure 8).
+
+    ``batched=True`` (the default) evaluates every sweep point in one
+    multi-workload matrix pass (:mod:`repro.core.batched`); ``false``
+    falls back to one ``run_sart`` per point.
+    """
 
     points: int = 11
+    batched: bool = True
 
 
 @dataclass(frozen=True)
@@ -146,7 +152,7 @@ _SECTIONS = {
     "campaign": CampaignSpec,
     "export": ExportSpec,
 }
-_BOOLEANS = {"monolithic", "per_node", "include_arrays", "parity"}
+_BOOLEANS = {"monolithic", "per_node", "include_arrays", "parity", "batched"}
 
 
 def _section(cls, data: Mapping[str, Any], name: str):

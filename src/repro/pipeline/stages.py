@@ -276,7 +276,11 @@ def stage_plan(
 
     started = time.perf_counter()
     plan, hit = ctx.memoize("plan", fp, compute)
-    artifact = PlanArtifact(fingerprint=fp, plan=plan, cached=hit)
+    from repro.core.compiled import PLAN_FORMAT
+
+    artifact = PlanArtifact(
+        fingerprint=fp, plan=plan, cached=hit, format=PLAN_FORMAT
+    )
     ctx.notify("plan", plan=artifact, seconds=time.perf_counter() - started)
     return artifact
 

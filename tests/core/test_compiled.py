@@ -134,10 +134,13 @@ class TestRelaxation:
 
     @pytest.mark.parametrize("workers", [2, 3])
     def test_worker_count_does_not_change_results(self, workers):
+        # min_parallel_nodes=0 forces the pool path on this tiny design.
         module = _pipeline()
         base = run_sart(module, STRUCTS, SartConfig(engine="compiled", workers=1))
         multi = run_sart(
-            module, STRUCTS, SartConfig(engine="compiled", workers=workers)
+            module,
+            STRUCTS,
+            SartConfig(engine="compiled", workers=workers, min_parallel_nodes=0),
         )
         # Bit-exact: the pool path must be a pure execution detail.
         assert base.node_avfs == multi.node_avfs
@@ -147,9 +150,26 @@ class TestRelaxation:
     def test_pool_workers_match_on_tinycore(self, tinycore_module):
         base = run_sart(tinycore_module, config=SartConfig(engine="compiled"))
         multi = run_sart(
-            tinycore_module, config=SartConfig(engine="compiled", workers=2)
+            tinycore_module,
+            config=SartConfig(
+                engine="compiled", workers=2, min_parallel_nodes=0
+            ),
         )
         assert base.node_avfs == multi.node_avfs
+
+    def test_small_design_auto_serial_warns(self):
+        # Default threshold: a tiny design ignores workers>1 (pool overhead
+        # dominates) and says so.
+        from repro.core.compiled import SmallDesignSerialWarning
+
+        module = _pipeline()
+        base = run_sart(module, STRUCTS, SartConfig(engine="compiled", workers=1))
+        with pytest.warns(SmallDesignSerialWarning, match="parallel threshold"):
+            auto = run_sart(
+                module, STRUCTS, SartConfig(engine="compiled", workers=4)
+            )
+        assert base.node_avfs == auto.node_avfs
+        assert base.trace.max_delta == auto.trace.max_delta
 
     def test_pool_start_failure_degrades_to_serial(self, monkeypatch):
         # The relaxation pool rides the fault-tolerant campaign runtime:
@@ -170,7 +190,9 @@ class TestRelaxation:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             degraded = run_sart(
-                module, STRUCTS, SartConfig(engine="compiled", workers=3)
+                module,
+                STRUCTS,
+                SartConfig(engine="compiled", workers=3, min_parallel_nodes=0),
             )
         assert any(
             isinstance(w.message, runtime.DegradedExecutionWarning) for w in caught

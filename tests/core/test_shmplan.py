@@ -1,0 +1,294 @@
+"""SolvePlan transport: shared-memory export/attach lifecycle.
+
+Workers must see bit-identical kernel inputs whether the plan arrives
+as a zero-copy shared-memory segment, a slim pickle (no numpy), or a
+bare in-process object — and the segment must be unlinked exactly once,
+even when a worker process dies mid-solve and the pool respawns.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.core import compiled, shmplan
+from repro.core.sart import SartConfig, build_plan, run_sart
+from repro.designs.bigcore.systolic import SystolicConfig, build_systolic
+from tests.sfi.chaos import ChaosPlan, attempts_of, chaos_init, chaos_worker
+
+needs_shm = pytest.mark.skipif(
+    not shmplan.HAVE_SHM, reason="numpy or shared_memory unavailable"
+)
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="pool tests assume fork workers",
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    # 4 tiles, enabled weight flops, genuine accumulator loops: every
+    # field of the exported layout (struct CSRs, through-sets, fub_of)
+    # is non-trivial at a few hundred nodes.
+    return build_systolic(
+        SystolicConfig(rows=4, cols=4, data_width=2, acc_width=4, tile=2)
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(design):
+    return build_plan(design.module)
+
+
+def _assert_kernel_fields_equal(attached, original):
+    for name in shmplan._FLAT_FIELDS:
+        assert list(map(int, getattr(attached, name))) == list(
+            map(int, getattr(original, name))
+        ), name
+    assert attached.n == original.n
+    assert len(attached.fub_forder) == len(original.fub_forder)
+    for f in range(len(original.fub_forder)):
+        assert list(attached.fub_forder[f]) == list(original.fub_forder[f])
+        assert list(attached.fub_border[f]) == list(original.fub_border[f])
+    assert attached.interner.sets == original.interner.sets
+
+
+# ----------------------------------------------------------------------
+# shared-memory mode
+# ----------------------------------------------------------------------
+
+@needs_shm
+class TestShmExport:
+    def test_attach_reproduces_every_kernel_field(self, plan):
+        export = shmplan.export_plan(plan)
+        try:
+            assert export.payload[0] == "shm"
+            assert isinstance(export.payload[1], shmplan.PlanHandle)
+            attached = shmplan.adopt_payload(export.payload)
+            assert attached is not plan  # a real second mapping
+            assert attached._shared_prefix == len(plan.interner)
+            _assert_kernel_fields_equal(attached, plan)
+        finally:
+            export.close()
+
+    def test_close_unlinks_segment_and_is_idempotent(self, plan):
+        from multiprocessing import shared_memory
+
+        export = shmplan.export_plan(plan)
+        name = export.segment_name
+        assert name
+        shared_memory.SharedMemory(name=name).close()  # exists while open
+        export.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        export.close()  # second close must be a no-op
+
+    def test_attached_plan_solves_identically(self, plan, monkeypatch):
+        # Drive the actual worker entry points in-process: adopt the
+        # segment, solve one FUB, and check the shipped sets decode to
+        # exactly what the master's serial kernels produce.
+        export = shmplan.export_plan(plan)
+        try:
+            monkeypatch.setattr(compiled, "_POOL_PLAN", None)
+            compiled._pool_init(export.payload)
+            n = plan.n
+            f_bnd = [compiled._TOP_ID] * n
+            b_bnd = [compiled._TOP_ID] * n
+            f_ref, b_ref = [-1] * n, [-1] * n
+            for fub in range(plan.n_fubs):
+                plan._forward_pass(plan.fub_forder[fub], fub, f_bnd, f_ref, 0)
+                plan._backward_pass(
+                    plan.fub_border[fub], fub, b_bnd, b_ref, 0, "unace"
+                )
+                got_fub, f_items, b_items = compiled._pool_solve_fub(
+                    (fub, [], [], 0, "unace")
+                )
+                assert got_fub == fub
+                intern = plan.interner.id_of
+                for nid, val in f_items:
+                    sid = intern(val) if isinstance(val, frozenset) else val
+                    assert sid == f_ref[nid], nid
+                for nid, val in b_items:
+                    sid = intern(val) if isinstance(val, frozenset) else val
+                    assert sid == b_ref[nid], nid
+        finally:
+            export.close()
+
+    def test_corrupt_encoding_rejected(self, plan):
+        from repro.errors import SartError
+
+        set_ptr, set_aix, atom_kind, atom_bit, name_ptr, blob = (
+            shmplan._encode_interner(plan.interner)
+        )
+        assert len(set_ptr) > 5  # enough sets to tamper with
+        # Alias set 3's member slice onto set 2's: it now decodes to a
+        # duplicate of set 2, so re-interning cannot reassign id 3.
+        bad_ptr = list(set_ptr)
+        bad_ptr[3], bad_ptr[4] = set_ptr[2], set_ptr[3]
+        with pytest.raises(SartError, match="corrupt shared plan"):
+            shmplan._decode_interner(
+                bad_ptr, set_aix, atom_kind, atom_bit, name_ptr, blob
+            )
+
+
+# ----------------------------------------------------------------------
+# worker lifecycle: attach from real processes, survive crashes
+# ----------------------------------------------------------------------
+
+_WORKER_PLAN = None
+
+
+def _attach_init(bundle):
+    """Pool initializer: chaos schedule + plan adoption, in that order."""
+    global _WORKER_PLAN
+    payload, chaos_plan = bundle
+    chaos_init(chaos_plan)
+    _WORKER_PLAN = shmplan.adopt_payload(payload)
+
+
+def _probe_attached(item):
+    """Misbehave on schedule, then report the attached plan's shape."""
+    chaos_worker(item)
+    plan = _WORKER_PLAN
+    return (
+        item,
+        plan.n,
+        int(plan.fanin_ptr[-1]),
+        plan._shared_prefix,
+        len(plan.interner),
+    )
+
+
+@needs_shm
+@needs_fork
+class TestWorkerLifecycle:
+    def test_respawned_workers_reattach_after_crash(self, plan, tmp_path):
+        # Item 0 kills its worker process on the first attempt. The
+        # resilient pool respawns, the fresh worker re-attaches to the
+        # same segment, and every item still reports the master's shape.
+        from repro.sfi.runtime import ResilientPool
+
+        chaos_plan = ChaosPlan(scratch=str(tmp_path), crash={0: 1})
+        export = shmplan.export_plan(plan)
+        results = [None] * 4
+        try:
+            pool = ResilientPool(
+                _attach_init,
+                (export.payload, chaos_plan),
+                workers=2,
+                max_pool_restarts=2,
+                label="shm-chaos",
+            )
+            try:
+                pool.run(
+                    _probe_attached,
+                    list(range(4)),
+                    max_retries=2,
+                    on_result=lambda i, r: results.__setitem__(i, r),
+                    on_error="raise",
+                )
+            finally:
+                pool.close()
+        finally:
+            export.close()
+        assert attempts_of(chaos_plan, 0) == 2  # crashed once, then ran
+        expected = (plan.n, int(plan.fanin_ptr[-1]),
+                    len(plan.interner), len(plan.interner))
+        for item, result in enumerate(results):
+            assert result == (item,) + expected
+
+    def test_relax_unlinks_segment_even_after_pool_death(
+        self, design, monkeypatch
+    ):
+        # End-to-end: an unspawnable pool degrades relaxation to serial;
+        # the exported segment must still be unlinked on the way out.
+        import warnings
+
+        from multiprocessing import shared_memory
+
+        import repro.sfi.runtime as runtime
+
+        exported = []
+        real_export = shmplan.export_plan
+
+        def spy_export(p):
+            export = real_export(p)
+            exported.append(export.segment_name)
+            return export
+
+        monkeypatch.setattr(shmplan, "export_plan", spy_export)
+
+        class Unspawnable:
+            def __init__(self, *args, **kwargs):
+                raise OSError("fork refused")
+
+        monkeypatch.setattr(runtime, "ProcessPoolExecutor", Unspawnable)
+        base = run_sart(
+            design.module, config=SartConfig(engine="compiled", workers=1)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            degraded = run_sart(
+                design.module,
+                config=SartConfig(
+                    engine="compiled", workers=2, min_parallel_nodes=0
+                ),
+            )
+        assert base.node_avfs == degraded.node_avfs
+        assert exported, "relaxation never exported the plan"
+        for name in exported:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# pickle fallback (no numpy / no shared memory)
+# ----------------------------------------------------------------------
+
+class TestPickleFallback:
+    def test_slim_payload_drops_master_only_state(self, plan, monkeypatch):
+        monkeypatch.setattr(shmplan, "HAVE_SHM", False)
+        export = shmplan.export_plan(plan)
+        assert export.segment_name is None
+        tag, slim, prefix = export.payload
+        assert tag == "pickle"
+        assert prefix == len(plan.interner)
+        # The slim plan carries kernels only — no graph, model, or
+        # resolution metadata rides along to the workers.
+        for heavy in ("graph", "model", "names", "kind_l"):
+            assert getattr(slim, heavy, None) is None, heavy
+        blob = pickle.dumps(export.payload)
+        adopted = shmplan.adopt_payload(pickle.loads(blob))
+        assert adopted._shared_prefix == len(plan.interner)
+        _assert_kernel_fields_equal(adopted, plan)
+        export.close()  # no-op, must not raise
+
+    @needs_fork
+    def test_pool_results_identical_without_shm(self, design, monkeypatch):
+        monkeypatch.setattr(shmplan, "HAVE_SHM", False)
+        base = run_sart(
+            design.module, config=SartConfig(engine="compiled", workers=1)
+        )
+        multi = run_sart(
+            design.module,
+            config=SartConfig(
+                engine="compiled", workers=2, min_parallel_nodes=0
+            ),
+        )
+        assert base.node_avfs == multi.node_avfs
+        assert base.trace.max_delta == multi.trace.max_delta
+
+    def test_bare_plan_adoption_sets_prefix(self, plan):
+        adopted = shmplan.adopt_payload(plan)
+        assert adopted is plan
+        assert adopted._shared_prefix == len(plan.interner)
+
+
+class TestCsrRows:
+    def test_rows_decode_lazily_and_cache(self):
+        rows = shmplan._CsrRows([0, 2, 2, 5], [4, 1, 3, 0, 2])
+        assert len(rows) == 3
+        assert rows[0] == [4, 1]
+        assert rows[1] == []
+        assert rows[2] == [3, 0, 2]
+        assert rows[0] is rows[0]  # per-row cache

@@ -33,6 +33,7 @@ from repro.workloads import default_suite
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 BENCH_SART_PATH = Path(__file__).resolve().parent.parent / "BENCH_sart.json"
 BENCH_PIPELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+BENCH_SERVE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
 
 def _flush_bench(path: Path, data: dict) -> None:
@@ -82,6 +83,14 @@ def bench_pipeline_json():
     data: dict[str, object] = {}
     yield data
     _flush_bench(BENCH_PIPELINE_PATH, data)
+
+
+@pytest.fixture(scope="session")
+def bench_serve_json():
+    """Job-server benchmark sink, flushed to BENCH_serve.json."""
+    data: dict[str, object] = {}
+    yield data
+    _flush_bench(BENCH_SERVE_PATH, data)
 
 
 @pytest.fixture(scope="session")

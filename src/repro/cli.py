@@ -35,6 +35,14 @@ Subcommands:
 ``run``
     Execute a declarative TOML/JSON run-spec describing any composition
     of stages (docs/ARCHITECTURE.md documents the format).
+``serve``
+    Long-running HTTP/JSON job server: clients POST run-spec documents,
+    the server dedups identical requests, executes them on the
+    fault-tolerant campaign runtime, streams SSE progress, and survives
+    crashes via a durable job journal (docs/ROBUSTNESS.md).
+``loadgen``
+    Concurrent load generator for a running ``serve`` instance; writes
+    the ``BENCH_serve.json`` metrics document.
 ``verify``
     Adversarial self-check: budgeted fuzz loop over randomized designs
     and circuits with cross-engine / cross-backend / metamorphic /
@@ -45,7 +53,10 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 
 from repro import __version__
 from repro.errors import PipelineError
@@ -101,22 +112,59 @@ def _campaign_spec(args) -> CampaignSpec:
     )
 
 
-def _interrupted(args) -> int:
-    """Uniform SIGINT exit for campaign subcommands (checkpoint-aware)."""
+class _Terminated(BaseException):
+    """SIGTERM, surfaced as an exception so ``finally`` blocks run.
+
+    Derives from BaseException (like KeyboardInterrupt) so campaign
+    code that catches ``Exception`` for retry accounting cannot swallow
+    it: the runtime's ``finally`` blocks flush checkpoints and release
+    worker pools, then the process exits 143 (128 + SIGTERM).
+    """
+
+
+@contextlib.contextmanager
+def _sigterm_to_exception():
+    """Turn SIGTERM into :class:`_Terminated` for the enclosed block.
+
+    Signal handlers can only be installed from the main thread; when
+    ``main()`` runs anywhere else (tests driving it from a worker
+    thread) the default disposition is left alone.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum, frame):
+        raise _Terminated()
+
+    previous = signal.signal(signal.SIGTERM, handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _interrupted(args, *, code: int = 130, label: str = "interrupted") -> int:
+    """Uniform SIGINT/SIGTERM exit for campaign subcommands.
+
+    By the time this runs the campaign runtime's ``finally`` blocks
+    have already flushed every completed pass to the checkpoint file,
+    so the message can promise the work is durable.
+    """
     path = getattr(args, "checkpoint", None) or getattr(args, "resume", None)
     if path:
         print(
-            f"\ninterrupted — completed passes are saved; rerun with "
+            f"\n{label} — completed passes are saved; rerun with "
             f"--resume {path} to continue",
             file=sys.stderr,
         )
     else:
         print(
-            "\ninterrupted — no --checkpoint was given, so progress was "
+            f"\n{label} — no --checkpoint was given, so progress was "
             "not saved",
             file=sys.stderr,
         )
-    return 130  # 128 + SIGINT, the conventional shell exit code
+    return code  # 128 + signal number, the conventional shell exit code
 
 
 def _render_sart(result, args) -> None:
@@ -474,33 +522,69 @@ def cmd_run(args) -> int:
         _render_beam(outcome.beam, program or outcome.design.ref,
                      backend, workers)
     if getattr(args, "export_json", None):
-        from repro.pipeline.emit import write_json
+        from repro.pipeline.emit import run_summary, write_json
 
-        payload: dict = {"design": outcome.design.ref,
-                         "stages": [e.stage for e in outcome.events],
-                         "cached_stages": sorted(
-                             {e.stage for e in outcome.events if e.cached})}
-        if outcome.sart is not None:
-            report = outcome.sart.result.report
-            payload["weighted_seq_avf"] = report.weighted_seq_avf
-        if outcome.sweep:
-            payload["sweep"] = [
-                {"loop_pavf": p.value,
-                 "weighted_seq_avf": p.result.report.weighted_seq_avf}
-                for p in outcome.sweep
-            ]
-        if outcome.sfi is not None:
-            from repro.pipeline.emit import campaign_summary
-
-            payload["sfi"] = campaign_summary(outcome.sfi, program=program)
-        if outcome.beam is not None:
-            from repro.pipeline.emit import campaign_summary
-
-            payload["beam"] = campaign_summary(outcome.beam, program=program)
-        write_json(args.export_json, payload)
+        write_json(args.export_json, run_summary(outcome, program=program))
         print(f"wrote run summary to {args.export_json}")
     cache_note(outcome.events)
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.server import ServeApp
+
+    app = ServeApp(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.job_workers,
+        queue_limit=args.queue_limit,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        heartbeat=args.heartbeat,
+        drain_grace=args.drain_grace,
+        echo=print,
+    )
+    app.start()
+    try:
+        app.serve_forever()
+    except (_Terminated, KeyboardInterrupt) as exc:
+        app.drain()
+        return 143 if isinstance(exc, _Terminated) else 130
+    app.drain()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from repro.serve.loadgen import run_load
+
+    doc = run_load(
+        args.url,
+        clients=args.clients,
+        requests=args.requests,
+        dedup_burst=args.dedup_burst,
+        job_timeout=args.job_timeout,
+    )
+    print(
+        f"{doc['completed']}/{doc['requests']} jobs in {doc['seconds']:.2f}s "
+        f"({doc['requests_per_second']:.1f} req/s)  "
+        f"p50={doc['latency_p50_seconds'] * 1000:.0f}ms "
+        f"p99={doc['latency_p99_seconds'] * 1000:.0f}ms"
+    )
+    burst = doc["dedup_burst"]
+    print(
+        f"dedup burst: {burst['requests']} identical requests -> "
+        f"{burst['distinct_jobs']} job(s), {burst['executions']} execution(s)"
+    )
+    for error in doc["errors"]:
+        print(f"  ERROR {error}", file=sys.stderr)
+    if args.out:
+        from repro.pipeline.emit import write_json
+
+        write_json(args.out, doc)
+        print(f"wrote load report to {args.out}")
+    return 1 if doc["errors"] else 0
 
 
 def cmd_verify(args) -> int:
@@ -727,6 +811,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
+        "serve", help="HTTP/JSON job server over the analysis pipeline")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8137,
+                   help="listen port (0 picks a free one; default 8137)")
+    p.add_argument("--state-dir", default="serve-state", metavar="DIR",
+                   help="durable server state: the job journal and "
+                        "per-job campaign checkpoints (default "
+                        "./serve-state)")
+    p.add_argument("--job-workers", type=int, default=1, metavar="N",
+                   help="worker processes executing jobs (1 runs jobs "
+                        "in-process)")
+    p.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                   help="max queued+running jobs before new submissions "
+                        "get 429 + Retry-After (default 32)")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="SEC",
+                   help="soft per-job timeout (needs --job-workers >= 2)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="attempts per job before it is failed (default 2)")
+    p.add_argument("--heartbeat", type=float, default=5.0, metavar="SEC",
+                   help="SSE heartbeat interval (default 5)")
+    p.add_argument("--drain-grace", type=float, default=30.0, metavar="SEC",
+                   help="graceful-shutdown budget for in-flight jobs "
+                        "(default 30)")
+    cache_opts(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="drive a running serve instance, emit bench metrics")
+    p.add_argument("--url", default="http://127.0.0.1:8137",
+                   help="base URL of the job server")
+    p.add_argument("--clients", type=int, default=4, metavar="N",
+                   help="concurrent client threads (default 4)")
+    p.add_argument("--requests", type=int, default=8, metavar="N",
+                   help="distinct jobs in the throughput phase (default 8)")
+    p.add_argument("--dedup-burst", type=int, default=8, metavar="N",
+                   help="identical concurrent requests in the dedup "
+                        "phase (default 8)")
+    p.add_argument("--job-timeout", type=float, default=120.0, metavar="SEC",
+                   help="per-job completion wait (default 120)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the metrics document as JSON "
+                        "(BENCH_serve.json shape)")
+    p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
         "verify",
         help="adversarial self-check: fuzz + oracles + golden corpus")
     p.add_argument("--budget", type=float, default=60.0, metavar="SEC",
@@ -765,7 +894,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        with _sigterm_to_exception():
+            return args.func(args)
+    except _Terminated:
+        # The runtime's finally blocks already flushed checkpoints and
+        # released worker pools on the way up.
+        return _interrupted(args, code=143, label="terminated")
+    except KeyboardInterrupt:
+        return _interrupted(args)
     except PipelineError as exc:
         raise SystemExit(str(exc))
 

@@ -101,6 +101,36 @@ class CacheDegradedWarning(UserWarning):
     """
 
 
+class ServeError(ReproError):
+    """Error in the AVF job server (admission, journal, scheduling)."""
+
+
+class JobJournalError(ServeError):
+    """The server's job journal could not be used.
+
+    Raised when the journal file named by the server's state directory
+    has an unreadable or mismatched header, or is corrupt anywhere
+    before its final (possibly torn) record — the same tolerance the
+    campaign checkpoint reader applies.
+    """
+
+
+class QueueFullError(ServeError):
+    """Job admission rejected: the bounded queue is at capacity.
+
+    ``retry_after`` is the backpressure hint (seconds) that the HTTP
+    layer surfaces as a 429 response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServerDrainingError(ServeError):
+    """Job admission rejected: the server is draining for shutdown."""
+
+
 class PassTimeoutError(CampaignError):
     """A campaign pass exceeded its soft timeout budget.
 

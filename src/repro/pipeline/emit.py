@@ -75,6 +75,36 @@ def campaign_summary(outcome, *, program: str | None = None) -> dict:
     return payload
 
 
+def run_summary(outcome, *, program: str | None = None) -> dict:
+    """JSON-safe summary of one executed run-spec.
+
+    The one document every front end serves: ``repro-sart run
+    --export-json`` writes it and the job server returns it as the job
+    result, so a spec executed over HTTP and the same spec executed
+    locally produce byte-identical summaries.
+    """
+    payload: dict = {
+        "design": outcome.design.ref,
+        "stages": [e.stage for e in outcome.events],
+        "cached_stages": sorted({e.stage for e in outcome.events if e.cached}),
+    }
+    if outcome.sart is not None:
+        payload["weighted_seq_avf"] = outcome.sart.result.report.weighted_seq_avf
+    if outcome.sweep:
+        payload["sweep"] = [
+            {"loop_pavf": p.value,
+             "weighted_seq_avf": p.result.report.weighted_seq_avf}
+            for p in outcome.sweep
+        ]
+    if outcome.sfi is not None:
+        payload["sfi"] = campaign_summary(outcome.sfi, program=program)
+    if outcome.beam is not None:
+        payload["beam"] = campaign_summary(outcome.beam, program=program)
+    if outcome.export_path:
+        payload["export"] = outcome.export_path
+    return payload
+
+
 def export_campaign_json(
     outcome,
     path: str,

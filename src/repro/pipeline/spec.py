@@ -33,7 +33,7 @@ netlist export. Unknown sections and keys are rejected.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Mapping
 
 from repro.errors import SpecError
@@ -126,6 +126,24 @@ class RunSpec:
     beam: BeamSpec | None = None
     campaign: CampaignSpec = field(default_factory=CampaignSpec)
     export: ExportSpec | None = None
+
+    def to_mapping(self) -> dict[str, Any]:
+        """Canonical JSON-safe document (round-trips via
+        :func:`spec_from_mapping`).
+
+        Section defaults are materialized, so two spec files that only
+        differ in which defaults they spell out map to the same
+        document — the normalization the serve-layer deduplication
+        keys on.
+        """
+        doc: dict[str, Any] = {"design": self.design}
+        if self.ports_file:
+            doc["ports"] = {"file": self.ports_file}
+        for name in _SECTIONS:
+            value = getattr(self, name)
+            if value is not None:
+                doc[name] = asdict(value)
+        return doc
 
     def stages(self) -> list[str]:
         """The stage compositions this spec declares, in run order."""
@@ -221,6 +239,33 @@ def spec_from_mapping(data: Mapping[str, Any]) -> RunSpec:
         campaign=sections.get("campaign", CampaignSpec()),
         export=sections.get("export"),
     )
+
+
+# Campaign knobs that place or pace the execution without being able to
+# change its result: the runtime's determinism contract makes outcomes
+# bit-identical at any worker count, retry budget, or checkpoint split.
+_EXECUTION_ONLY_CAMPAIGN_KEYS = (
+    "workers", "max_retries", "pass_timeout",
+    "checkpoint", "resume", "max_pool_restarts",
+)
+
+
+def spec_fingerprint(spec: RunSpec) -> str:
+    """Content fingerprint of the *result* a run-spec describes.
+
+    Execution-placement knobs (worker counts, retry/timeout budgets,
+    checkpoint paths) are excluded: they cannot change what is computed,
+    only how, so two requests for the same analysis deduplicate even
+    when their QoS settings differ.
+    """
+    from repro.pipeline.fingerprint import fingerprint
+
+    doc = spec.to_mapping()
+    campaign = dict(doc.get("campaign") or {})
+    for key in _EXECUTION_ONLY_CAMPAIGN_KEYS:
+        campaign.pop(key, None)
+    doc["campaign"] = campaign
+    return fingerprint("runspec", doc)
 
 
 def load_spec(path: str) -> RunSpec:

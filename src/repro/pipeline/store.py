@@ -137,6 +137,28 @@ class ArtifactStore:
                 out.append((stage_dir.name, blob.stem))
         return out
 
+    def stats(self) -> dict:
+        """On-disk footprint snapshot (served by ``/stats`` in serve mode).
+
+        Counts the directory, not this instance's hit/miss tallies: the
+        server's worker processes write the same root through their own
+        store objects, so the disk is the only shared source of truth.
+        """
+        per_stage: dict[str, int] = {}
+        total_bytes = 0
+        for stage, fp in self.entries():
+            per_stage[stage] = per_stage.get(stage, 0) + 1
+            try:
+                total_bytes += self.path(stage, fp).stat().st_size
+            except OSError:
+                pass
+        return {
+            "root": str(self.root),
+            "entries": sum(per_stage.values()),
+            "entries_per_stage": per_stage,
+            "bytes": total_bytes,
+        }
+
 
 class NullStore:
     """Cache-disabled stand-in with the same fetch interface."""
@@ -161,3 +183,6 @@ class NullStore:
 
     def entries(self) -> list[tuple[str, str]]:
         return []
+
+    def stats(self) -> dict:
+        return {"root": None, "entries": 0, "entries_per_stage": {}, "bytes": 0}

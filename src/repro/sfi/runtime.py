@@ -71,6 +71,32 @@ class DegradedExecutionWarning(UserWarning):
     """The runtime fell back to serial in-process execution."""
 
 
+def backoff_delay(
+    index: int,
+    attempt: int,
+    *,
+    base: float,
+    cap: float = 2.0,
+    seed: int = 0,
+) -> float:
+    """Deterministic bounded jittered exponential retry backoff.
+
+    The delay inserted *before* retry *attempt* of pass *index* (attempt
+    1 is the first try and never waits): ``base`` seconds doubling per
+    attempt, capped at ``cap``, scaled by a jitter factor in [0.5, 1.0)
+    derived by hashing ``(seed, index, attempt)``. The schedule is a
+    pure function of its inputs — seeded tests see identical delays —
+    while different passes de-phase, so a sick pool is not hammered by
+    the whole campaign retrying in lockstep.
+    """
+    if base <= 0.0 or attempt <= 1:
+        return 0.0
+    raw = min(cap, base * (2.0 ** (attempt - 2)))
+    digest = hashlib.sha256(f"{seed}:{index}:{attempt}".encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return raw * (0.5 + 0.5 * unit)
+
+
 @dataclass
 class RuntimeOptions:
     """Fault-tolerance knobs for a campaign run.
@@ -82,7 +108,9 @@ class RuntimeOptions:
     appends completed passes to a JSONL file; ``resume`` loads one
     first and skips the passes it already holds. ``max_pool_restarts``
     bounds how many times a broken pool is respawned before the runtime
-    degrades to serial execution.
+    degrades to serial execution. ``retry_backoff`` is the base of the
+    bounded jittered exponential delay inserted before each retry
+    attempt (:func:`backoff_delay`; 0 restores immediate re-queue).
     """
 
     max_retries: int = 3
@@ -90,6 +118,9 @@ class RuntimeOptions:
     checkpoint: str | None = None
     resume: str | None = None
     max_pool_restarts: int = 3
+    retry_backoff: float = 0.05
+    retry_backoff_cap: float = 2.0
+    retry_backoff_seed: int = 0
 
 
 @dataclass
@@ -317,6 +348,9 @@ class ResilientPool:
         timeout: float | None = None,
         on_result: Callable[[int, Any], None] | None = None,
         on_error: str = "record",
+        backoff_base: float = 0.0,
+        backoff_cap: float = 2.0,
+        backoff_seed: int = 0,
     ) -> list[PassFailure]:
         """Run ``fn(tasks[i])`` for every index, surviving failures.
 
@@ -324,15 +358,28 @@ class ResilientPool:
         checkpoint hook). With ``on_error="record"`` permanent failures
         come back as :class:`PassFailure` records; ``"raise"`` turns the
         first one into :class:`CampaignError` / :class:`PassTimeoutError`
-        for callers that need every result (relaxation).
+        for callers that need every result (relaxation). A non-zero
+        ``backoff_base`` inserts the bounded jittered exponential delay
+        of :func:`backoff_delay` before each retry attempt instead of
+        re-queueing immediately (requeues caused by a broken pool or a
+        cancelled not-yet-started task keep their attempt number and
+        never wait — the pool respawn itself is the pause).
         """
         idxs = [i for i in (indices if indices is not None else range(len(tasks)))]
         max_retries = max(1, int(max_retries))
         failures: list[PassFailure] = []
         finished: set[int] = set()
-        queue: deque[tuple[int, int]] = deque((i, 1) for i in idxs)
+        # Queue entries are (index, attempt, ready_at): a retry under
+        # backoff is parked until its monotonic ready time.
+        queue: deque[tuple[int, int, float]] = deque((i, 1, 0.0) for i in idxs)
         if not queue:
             return failures
+
+        def retry_ready(index: int, attempt: int) -> float:
+            return time.monotonic() + backoff_delay(
+                index, attempt,
+                base=backoff_base, cap=backoff_cap, seed=backoff_seed,
+            )
 
         def fail(index: int, attempts: int, kind: str, message: str,
                  exc: BaseException | None = None) -> None:
@@ -358,7 +405,8 @@ class ResilientPool:
 
         # Serial is also the single-task fast path: no pool, no pickling.
         if len(idxs) <= 1:
-            self._run_serial(fn, tasks, queue, max_retries, finished, fail, succeed)
+            self._run_serial(fn, tasks, queue, max_retries, finished, fail,
+                             succeed, retry_ready)
             return failures
 
         pending: dict[Future, tuple[int, int, float]] = {}
@@ -367,21 +415,37 @@ class ResilientPool:
             if pool is None:
                 for _fut, (i, att, _t0) in pending.items():
                     if i not in finished:
-                        queue.append((i, att))
+                        queue.append((i, att, 0.0))
                 pending.clear()
-                self._run_serial(fn, tasks, queue, max_retries, finished, fail, succeed)
+                self._run_serial(fn, tasks, queue, max_retries, finished,
+                                 fail, succeed, retry_ready)
                 break
 
             # Keep at most one task per live slot in flight so that
-            # submit time ~= start time (the soft-timeout clock).
+            # submit time ~= start time (the soft-timeout clock). Entries
+            # still backing off rotate to the back of the queue; the
+            # earliest ready time bounds how long the wait below blocks.
             live_slots = self.workers - self._abandoned
-            while queue and len(pending) < live_slots:
-                i, att = queue.popleft()
+            now = time.monotonic()
+            backing_off: float | None = None
+            for _ in range(len(queue)):
+                if len(pending) >= live_slots:
+                    break
+                i, att, ready = queue.popleft()
                 if i in finished:
+                    continue
+                if ready > now:
+                    queue.append((i, att, ready))
+                    backing_off = (ready if backing_off is None
+                                   else min(backing_off, ready))
                     continue
                 pending[pool.submit(fn, tasks[i])] = (i, att, time.monotonic())
 
             if not pending:
+                if backing_off is not None:
+                    # Everything left is parked on a retry delay.
+                    time.sleep(max(0.0, backing_off - time.monotonic()))
+                    continue
                 if self._abandoned:
                     # Only wedged workers remain; recycle so queued work
                     # (if any) gets fresh slots, else we are done.
@@ -392,8 +456,12 @@ class ResilientPool:
                     continue
                 break  # queue drained into `finished` duplicates
 
+            tick = self._tick(pending, timeout)
+            if backing_off is not None:
+                until_ready = max(0.01, backing_off - time.monotonic())
+                tick = until_ready if tick is None else min(tick, until_ready)
             done_set, _ = wait(
-                list(pending), timeout=self._tick(pending, timeout),
+                list(pending), timeout=tick,
                 return_when=FIRST_COMPLETED,
             )
             broke = False
@@ -405,10 +473,10 @@ class ResilientPool:
                     result = fut.result()
                 except BrokenProcessPool:
                     broke = True
-                    queue.append((i, att))
+                    queue.append((i, att, 0.0))
                 except Exception as exc:
                     if att < max_retries:
-                        queue.append((i, att + 1))
+                        queue.append((i, att + 1, retry_ready(i, att + 1)))
                     else:
                         fail(i, att, CRASH, f"{type(exc).__name__}: {exc}", exc)
                 else:
@@ -423,7 +491,7 @@ class ResilientPool:
                 # which serial execution resolves it deterministically.
                 for _fut, (i, att, _t0) in pending.items():
                     if i not in finished:
-                        queue.append((i, att))
+                        queue.append((i, att, 0.0))
                 pending.clear()
                 self._recycle("a worker process died unexpectedly", broken=True)
                 continue
@@ -436,7 +504,7 @@ class ResilientPool:
                     if fut.cancel():
                         # Never started — queued behind a slow pass, not a
                         # straggler itself. Requeue without burning budget.
-                        queue.append((i, att))
+                        queue.append((i, att, 0.0))
                     else:
                         self._abandoned += 1
                         fail(i, att, TIMEOUT,
@@ -444,7 +512,7 @@ class ResilientPool:
                 if self._abandoned >= self.workers:
                     for _fut, (i, att, _t0) in pending.items():
                         if i not in finished:
-                            queue.append((i, att))
+                            queue.append((i, att, 0.0))
                     pending.clear()
                     self._recycle("every worker wedged past the pass timeout",
                                   broken=False)
@@ -462,17 +530,21 @@ class ResilientPool:
         deadline = min(t0 + timeout for (_i, _a, t0) in pending.values())
         return max(0.01, deadline - now)
 
-    def _run_serial(self, fn, tasks, queue, max_retries, finished, fail, succeed):
+    def _run_serial(self, fn, tasks, queue, max_retries, finished, fail,
+                    succeed, retry_ready=None):
         if not queue:
             return
         if not self._serial_ready:
             self._initializer(self._payload)
             self._serial_ready = True
         while queue:
-            i, att = queue.popleft()
+            i, att, ready = queue.popleft()
             if i in finished:
                 continue
             while True:
+                delay = ready - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
                 try:
                     result = fn(tasks[i])
                 except KeyboardInterrupt:
@@ -480,6 +552,8 @@ class ResilientPool:
                 except Exception as exc:
                     if att < max_retries:
                         att += 1
+                        if retry_ready is not None:
+                            ready = retry_ready(i, att)
                         continue
                     fail(i, att, CRASH, f"{type(exc).__name__}: {exc}", exc)
                     break
@@ -563,6 +637,9 @@ def run_passes(
             max_retries=opts.max_retries,
             timeout=opts.pass_timeout,
             on_result=on_result,
+            backoff_base=opts.retry_backoff,
+            backoff_cap=opts.retry_backoff_cap,
+            backoff_seed=opts.retry_backoff_seed,
         )
     finally:
         # Flush-and-release even on KeyboardInterrupt: whatever completed

@@ -173,6 +173,73 @@ def test_beam_keyboard_interrupt_exits_130_without_checkpoint(monkeypatch, capsy
     assert "progress was not saved" in err
 
 
+def test_sfi_sigterm_exits_143_with_checkpoint_hint(monkeypatch, capsys,
+                                                    tmp_path):
+    import os
+    import signal
+    import time
+
+    def terminate(*args, **kwargs):
+        # A real SIGTERM mid-campaign: the handler installed by main()
+        # raises during the sleep, unwinding through the runtime's
+        # checkpoint-flushing finally blocks.
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(5)
+        raise AssertionError("SIGTERM handler never fired")
+
+    monkeypatch.setattr("repro.sfi.run_sfi_campaign", terminate)
+    ck = tmp_path / "campaign.jsonl"
+    rc = main(["sfi", "fib", "--injections", "20", "--checkpoint", str(ck)])
+    err = capsys.readouterr().err
+    assert rc == 143                        # 128 + SIGTERM
+    assert "terminated" in err
+    assert f"--resume {ck}" in err
+
+
+def test_sigterm_disposition_restored_after_main(monkeypatch):
+    import signal
+
+    def terminate(*args, **kwargs):
+        import os
+        import time
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(5)
+
+    monkeypatch.setattr("repro.ser.beam.run_beam_test", terminate)
+    before = signal.getsignal(signal.SIGTERM)
+    rc = main(["beam", "fib", "--exposures", "8"])
+    assert rc == 143
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_loadgen_cli_against_live_server(tmp_path, capsys):
+    """``repro-sart loadgen`` against a live server, metrics written out.
+
+    (The real ``repro-sart serve`` process — SIGKILL recovery and the
+    SIGTERM→143 graceful drain — is covered by the subprocess test in
+    tests/serve/test_recovery.py.)
+    """
+    from repro.serve.server import ServeApp
+
+    def stub_worker(task):
+        return {"ok": True}
+
+    app = ServeApp(str(tmp_path / "state"), worker=stub_worker,
+                   queue_limit=16).start_background()
+    try:
+        rc = main(["loadgen", "--url", app.url, "--clients", "2",
+                   "--requests", "2", "--dedup-burst", "4",
+                   "--out", str(tmp_path / "bench.json")])
+    finally:
+        app.drain()
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "4 identical requests -> 1 job(s), 1 execution(s)" in out
+    doc = json.loads((tmp_path / "bench.json").read_text())
+    assert doc["completed"] == 2
+    assert doc["dedup_burst"]["executions"] == 1
+
+
 def test_version_flag(capsys):
     from repro import __version__
 

@@ -34,6 +34,7 @@ BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json
 BENCH_SART_PATH = Path(__file__).resolve().parent.parent / "BENCH_sart.json"
 BENCH_PIPELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 BENCH_SERVE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+BENCH_ECO_PATH = Path(__file__).resolve().parent.parent / "BENCH_eco.json"
 
 
 def _flush_bench(path: Path, data: dict) -> None:
@@ -91,6 +92,14 @@ def bench_serve_json():
     data: dict[str, object] = {}
     yield data
     _flush_bench(BENCH_SERVE_PATH, data)
+
+
+@pytest.fixture(scope="session")
+def bench_eco_json():
+    """Incremental re-solve (ECO) benchmark sink, BENCH_eco.json."""
+    data: dict[str, object] = {}
+    yield data
+    _flush_bench(BENCH_ECO_PATH, data)
 
 
 @pytest.fixture(scope="session")

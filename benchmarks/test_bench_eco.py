@@ -1,0 +1,118 @@
+"""ECO-mode benchmark — incremental re-solve vs cold solve on a 1-FUB edit.
+
+The acceptance story of the per-FUB incremental subsystem: a one-FUB
+ECO (``edit=LSU``, a numerically neutral re-buffering inside the LSU)
+on bigcore must warm-start from the unedited baseline, re-solve a
+strict subset of the FUBs, land bit-identically on the cold solution,
+and do so in a fraction of the cold wall time. The smoke rung (CI)
+runs at scale 0.3; the full rung pins the headline ratio at scale 4.
+
+Records per rung in ``BENCH_eco.json``: node/FUB counts, the static
+dirty set vs the dynamic re-solve front, cold/warm wall seconds, and
+the per-(FUB, direction) store hit rate a second run enjoys.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+from repro.core.sart import SartConfig, build_plan, run_sart
+from repro.designs.bigcore import BigcoreConfig, build_bigcore, map_structure_ports
+from repro.pipeline.delta import (
+    diff_plans,
+    eco_context_fingerprint,
+    fub_solution_keys,
+    save_fub_solutions,
+    warm_start_from_result,
+    warm_start_from_store,
+)
+from repro.pipeline.store import ArtifactStore
+
+CFG = SartConfig(partition_by_fub=True, iterations=20)
+
+
+def _eco_rung(scale: float, ports, store_dir) -> dict:
+    base = build_bigcore(BigcoreConfig(scale=scale, seed=42))
+    edit = build_bigcore(BigcoreConfig(scale=scale, seed=42, edit="LSU"))
+    base_ports = map_structure_ports(base, ports)
+    edit_ports = map_structure_ports(edit, ports)
+    plan_a = build_plan(base.module, base_ports, CFG)
+    plan_b = build_plan(edit.module, edit_ports, CFG)
+
+    baseline = run_sart(base.module, base_ports, CFG, plan=plan_a)
+    delta = diff_plans(plan_a, plan_b)
+    assert delta.touched == {"LSU"}
+    warm_start = warm_start_from_result(plan_b, delta.touched, baseline)
+
+    started = time.perf_counter()
+    cold = run_sart(edit.module, edit_ports, CFG, plan=plan_b)
+    cold_s = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = run_sart(edit.module, edit_ports, CFG, plan=plan_b,
+                    warm_start=warm_start)
+    warm_s = time.perf_counter() - started
+
+    # Bit-identical, not approximately equal.
+    assert warm.node_avfs == cold.node_avfs
+    assert warm.f_sets == cold.f_sets
+    assert warm.b_sets == cold.b_sets
+    assert warm.report == cold.report
+    # The dynamic re-solve front is a strict subset of the FUBs.
+    assert warm.trace.warm and warm.trace.converged
+    assert 0 < warm.trace.resolved_fubs < plan_b.n_fubs
+    assert warm_s < cold_s
+
+    # Store discipline: the baseline's per-(FUB, direction) entries
+    # must serve every sub-solution the edit cannot reach.
+    store = ArtifactStore(store_dir)
+    ctx = eco_context_fingerprint(CFG, None)
+    save_fub_solutions(store, plan_a, baseline,
+                       fub_solution_keys(plan_a, ctx))
+    _, hits, misses, _ = warm_start_from_store(
+        store, plan_b, fub_solution_keys(plan_b, ctx)
+    )
+    assert hits > 0 and misses > 0
+
+    return {
+        "scale": scale,
+        "nodes": plan_b.n,
+        "fubs": plan_b.n_fubs,
+        "static_dirty_fubs": len(delta.dirty),
+        "resolved_fubs": int(warm.trace.resolved_fubs),
+        "warm_iterations": int(warm.trace.iterations),
+        "cold_iterations": int(cold.trace.iterations),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_over_cold": round(warm_s / cold_s, 4),
+        "fub_store_hits": hits,
+        "fub_store_misses": misses,
+        "fub_store_hit_rate": round(hits / (hits + misses), 4),
+    }
+
+
+def _report(title: str, record: dict) -> None:
+    print_table(
+        title,
+        ["nodes", "FUBs", "re-solved", "cold s", "warm s", "ratio",
+         "store hit rate"],
+        [[record["nodes"], record["fubs"], record["resolved_fubs"],
+          record["cold_seconds"], record["warm_seconds"],
+          record["warm_over_cold"], record["fub_store_hit_rate"]]],
+    )
+
+
+def test_bench_eco_smoke(bench_eco_json, model_ports, tmp_path):
+    ports, _ = model_ports
+    record = _eco_rung(0.3, ports, tmp_path / "store")
+    _report("ECO re-solve, 1-FUB edit at scale 0.3 (CI smoke)", record)
+    bench_eco_json["eco_smoke"] = record
+
+
+def test_bench_eco_full_scale4(bench_eco_json, model_ports, tmp_path):
+    ports, _ = model_ports
+    record = _eco_rung(4.0, ports, tmp_path / "store")
+    _report("ECO re-solve, 1-FUB edit at scale 4", record)
+    # The headline acceptance: warm wall time at most 0.35x cold.
+    assert record["warm_over_cold"] <= 0.35
+    bench_eco_json["eco_scale4"] = record

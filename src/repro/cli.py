@@ -22,6 +22,15 @@ Subcommands:
     SART, and print the Figure 9 style report.
 ``sweep``
     Loop-boundary pAVF sweep (the Figure 8 study) on bigcore.
+``diff``
+    Per-FUB structural diff between two design references: changed,
+    added, and removed FUBs plus the reachable dirty set an incremental
+    re-solve starts from.
+``eco``
+    Incremental SART re-solve: solve a baseline design, diff it against
+    the edited design, and warm-start the edited solve so only the FUBs
+    the edit influences re-solve — bit-identical to a cold run
+    (``--check`` verifies it).
 ``export``
     Write a built-in design (tinycore with a program, or bigcore) as
     EXLIF or structural Verilog for external tools.
@@ -430,6 +439,75 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_diff(args) -> int:
+    from repro.core.sart import SartConfig
+    from repro.pipeline import delta as delta_mod
+    from repro.pipeline.registry import resolve_design
+    from repro.pipeline.stages import PipelineContext, stage_design, stage_plan
+
+    ctx = PipelineContext(store=_store_from_args(args))
+    config = SartConfig()
+    plans = []
+    for ref in (args.ref_a, args.ref_b):
+        design = stage_design(ctx, resolve_design(ref))
+        plans.append((design, stage_plan(ctx, design, None, config)))
+    (design_a, plan_a), (design_b, plan_b) = plans
+    delta = delta_mod.diff_plans(
+        plan_a.plan, plan_b.plan, ref_a=design_a.ref, ref_b=design_b.ref
+    )
+    print(f"design delta: {design_a.ref} -> {design_b.ref}")
+    print(delta.table())
+    if getattr(args, "export_json", None):
+        from repro.pipeline.emit import write_json
+
+        write_json(args.export_json, delta.to_mapping())
+        print(f"wrote design delta to {args.export_json}")
+    return 0
+
+
+def cmd_eco(args) -> int:
+    from repro.pipeline.emit import cache_note, run_summary, write_json
+    from repro.pipeline.runner import execute
+    from repro.pipeline.spec import EcoSpec
+
+    spec = RunSpec(
+        design=args.design,
+        workloads=WorkloadsSpec(per_class=args.workloads_per_class,
+                                length=args.workload_length),
+        sart=_sart_spec(args),
+        eco=EcoSpec(baseline=args.baseline, check=args.check),
+    )
+
+    def observer(event, info):
+        if event == "eco:delta":
+            delta = info["delta"]
+            print(f"baseline: {info['baseline']}")
+            print(delta.table())
+        elif event == "eco:skip":
+            print(f"eco: falling back to a cold solve ({info['reason']})")
+        elif event == "eco:check":
+            print(f"eco check: bit-identical={info['identical']} "
+                  f"(warm {info['warm_seconds']:.2f}s, "
+                  f"cold {info['cold_seconds']:.2f}s)")
+        elif event == "ace:run":
+            print(f"running {info['workloads']} workloads through "
+                  f"the ACE model...")
+        elif event == "ace:cached":
+            print(f"ACE suite: {info['workloads']} workloads reused "
+                  f"from cache")
+        elif event == "sart":
+            result = info["outcome"].result
+            print(result.report.table())
+            print_stats(result)
+
+    outcome = execute(spec, store=_store_from_args(args), observer=observer)
+    if getattr(args, "export_json", None):
+        write_json(args.export_json, run_summary(outcome))
+        print(f"wrote run summary to {args.export_json}")
+    cache_note(outcome.events)
+    return 0
+
+
 def cmd_export(args) -> int:
     from repro.pipeline.runner import execute
 
@@ -577,6 +655,15 @@ def cmd_loadgen(args) -> int:
         f"dedup burst: {burst['requests']} identical requests -> "
         f"{burst['distinct_jobs']} job(s), {burst['executions']} execution(s)"
     )
+    counters = doc.get("server_counters", {})
+    if counters.get("eco_jobs"):
+        print(
+            f"eco: {counters['eco_jobs']} job(s), "
+            f"{counters.get('warm_solves', 0)} warm / "
+            f"{counters.get('cold_solves', 0)} cold, FUB store "
+            f"{counters.get('fub_hits', 0)} hit(s) / "
+            f"{counters.get('fub_misses', 0)} miss(es)"
+        )
     for error in doc["errors"]:
         print(f"  ERROR {error}", file=sys.stderr)
     if args.out:
@@ -802,6 +889,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload-length", type=int, default=3000)
     cache_opts(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "diff", help="per-FUB structural diff between two design references")
+    p.add_argument("ref_a", help="baseline design reference "
+                                 "(e.g. bigcore@scale=1)")
+    p.add_argument("ref_b", help="target design reference "
+                                 "(e.g. bigcore@scale=1,edit=LSU)")
+    p.add_argument("--export-json", metavar="PATH",
+                   help="write the delta as JSON")
+    cache_opts(p)
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "eco", help="incremental SART re-solve against a baseline design")
+    p.add_argument("design", help="edited design reference "
+                                  "(e.g. bigcore@scale=1,edit=LSU)")
+    p.add_argument("--baseline", required=True, metavar="REF",
+                   help="baseline design reference the warm start is "
+                        "seeded from")
+    p.add_argument("--check", action="store_true",
+                   help="also run the cold solve and verify the "
+                        "incremental result is bit-identical")
+    p.add_argument("--workloads-per-class", type=int, default=2)
+    p.add_argument("--workload-length", type=int, default=4000)
+    common(p)
+    p.set_defaults(func=cmd_eco)
 
     p = sub.add_parser("run", help="execute a declarative TOML/JSON run-spec")
     p.add_argument("spec", help="run-spec file (.toml or .json)")

@@ -50,7 +50,7 @@ from repro.core.pavf import (
     union,
 )
 from repro.core.partition import FubPartition
-from repro.core.relaxation import RelaxationTrace
+from repro.core.relaxation import RelaxationTrace, WarmStart
 from repro.core.resolve import (
     NodeAvf,
     ROLE_CONST,
@@ -841,6 +841,8 @@ def relax_compiled(
     dangling: str = "unace",
     workers: int = 1,
     min_parallel_nodes: int | None = None,
+    warm_start: WarmStart | None = None,
+    capture_boundary: dict | None = None,
 ) -> tuple[list[int], list[int], RelaxationTrace]:
     """Jacobi relaxation across FUB partitions on the compiled kernels.
 
@@ -870,6 +872,34 @@ def relax_compiled(
     and repeated breakage degrades to serial in-process execution with a
     warning instead of aborting the relaxation. Either way the results
     are bit-identical — every solve is a pure function of (plan, task).
+
+    *warm_start* switches the relaxation to ECO mode: node outputs and
+    FUBIO boundary entries are pre-seeded from a previous converged
+    solution (:class:`~repro.core.relaxation.WarmStart`) and the initial
+    re-solve set shrinks from every FUB to ``warm_start.dirty_fubs``.
+    Two disciplines, selected by ``warm_start.optimistic``:
+
+    * exact (store-path) seeds are proven equal to the new fixpoint, so
+      the normal MIN merge applies; dirty FUBs start from TOP boundaries
+      (the post-edit fixpoint may sit above the baseline's, and the MIN
+      merge can never climb back up), and a merge that dirties a seeded
+      FUB repairs it through the normal importer-dirtying.
+    * optimistic (delta-path) seeds are the *baseline's* fixpoint, which
+      an edit may have moved in either direction, so the merge accepts
+      any boundary whose *value* changed — increases included — while
+      still rejecting equal-value set churn, exactly as the cold MIN
+      merge keeps the first set to reach a value. The re-solve front
+      then expands along the edit's actual value influence and the run
+      converges when values quiesce, on the same ``tol`` a cold run
+      uses.
+
+    *capture_boundary*, when a dict, receives the converged FUBIO tables
+    — ``{"f"|"b": {net: frozenset}}`` over ``plan.f_exports`` /
+    ``plan.b_exports`` — which later warm starts need verbatim: a
+    boundary entry may hold an older set than the owner's final output
+    at the same value (the MIN merge keeps the first set to reach a
+    value), and replaying that tie history is what keeps warm re-solves
+    bit-identical.
     """
     from repro.errors import CampaignError
     from repro.sfi.runtime import ResilientPool
@@ -883,6 +913,14 @@ def relax_compiled(
     b_out = [-1] * n
     trace = RelaxationTrace()
     dirty: list[int] = list(range(n_fubs))
+    optimistic = False
+    if warm_start is not None:
+        dirty = _apply_warm_start(plan, warm_start, f_bnd, b_bnd, f_out, b_out)
+        optimistic = warm_start.optimistic
+        trace.warm = True
+        trace.dirty_fubs = len(dirty)
+        trace.warm_fubs = n_fubs - len(dirty)
+    resolved: set[int] = set()
     workers = max(1, int(workers or 1))
     threshold = (
         MIN_PARALLEL_NODES if min_parallel_nodes is None else int(min_parallel_nodes)
@@ -924,6 +962,7 @@ def relax_compiled(
                 b_imp_by_fub[f].append(nid)
 
         for iteration in range(iterations):
+            resolved.update(dirty)
             # Once the pool has degraded, the inline kernels are the
             # faster serial path (no boundary shipping / interning).
             if pool is not None and not pool.degraded and len(dirty) > 1:
@@ -969,37 +1008,50 @@ def relax_compiled(
                         plan.fub_border[f], f, b_bnd, b_out, max_terms, dangling
                     )
 
-            # FUBIO merge (MIN rule), marking the importers of every
-            # changed entry dirty for the next iteration.
+            # FUBIO merge, marking the importers of every changed entry
+            # dirty for the next iteration. Cold/exact runs apply the
+            # MIN rule (values only descend from TOP); optimistic warm
+            # runs accept any value *change* — seeds are a stale
+            # fixpoint, not a lower bound — but both keep the old set
+            # on equal-value ties, so the tie history matches a cold run.
+            # A cold boundary entry only ever leaves TOP on a strict
+            # value decrease, so any cold entry at the TOP value *is*
+            # TOP; an optimistic increase that saturates must therefore
+            # store TOP itself, not the computed set, to land on the
+            # same representation.
             delta = 0.0
             next_dirty: set[int] = set()
             value = ev.value
+            top_val = value(_TOP_ID)
             for nid in plan.f_exports:
                 new = f_out[nid]
                 old = f_bnd[nid]
-                if new == old:
+                if new == old or new < 0:
                     continue
                 new_val, old_val = value(new), value(old)
-                if new_val < old_val:
-                    f_bnd[nid] = new
+                if new_val < old_val or (optimistic and new_val > old_val):
+                    f_bnd[nid] = _TOP_ID if new_val >= top_val else new
                     next_dirty.update(plan.f_importers.get(nid, ()))
-                    if old_val - new_val > delta:
-                        delta = old_val - new_val
+                    if abs(old_val - new_val) > delta:
+                        delta = abs(old_val - new_val)
             for nid in plan.b_exports:
                 new = b_out[nid]
                 old = b_bnd[nid]
-                if new == old:
+                if new == old or new < 0:
                     continue
                 new_val, old_val = value(new), value(old)
-                if new_val < old_val:
-                    b_bnd[nid] = new
+                if new_val < old_val or (optimistic and new_val > old_val):
+                    b_bnd[nid] = _TOP_ID if new_val >= top_val else new
                     next_dirty.update(plan.b_importers.get(nid, ()))
-                    if old_val - new_val > delta:
-                        delta = old_val - new_val
+                    if abs(old_val - new_val) > delta:
+                        delta = abs(old_val - new_val)
 
             trace.iterations = iteration + 1
             trace.max_delta.append(delta)
-            _record_fub_averages_compiled(plan, f_out, b_out, ev, trace)
+            _record_fub_averages_compiled(
+                plan, f_out, b_out, ev, trace,
+                fubs=dirty if optimistic else None,
+            )
             if delta <= tol:
                 trace.converged = True
                 break
@@ -1009,7 +1061,62 @@ def relax_compiled(
             pool.close()
         if segment is not None:
             segment.close()
+    trace.resolved_fubs = len(resolved)
+    trace.resolved_fub_ids = tuple(sorted(resolved))
+    if capture_boundary is not None:
+        sets = interner.sets
+        names = plan.names
+        capture_boundary["f"] = {
+            names[nid]: sets[f_bnd[nid]] for nid in plan.f_exports
+        }
+        capture_boundary["b"] = {
+            names[nid]: sets[b_bnd[nid]] for nid in plan.b_exports
+        }
     return f_out, b_out, trace
+
+
+def _apply_warm_start(
+    plan: SolvePlan,
+    warm: WarmStart,
+    f_bnd: list[int],
+    b_bnd: list[int],
+    f_out: list[int],
+    b_out: list[int],
+) -> list[int]:
+    """Seed solver state from *warm* and return the initial dirty list.
+
+    Seeds are name-keyed (plan node ids do not survive a rebuild); names
+    absent from the new plan are skipped — they belong to removed FUBs.
+    Node outputs are seeded besides boundaries: a boundary entry with no
+    baseline value (a previously-unexported node that gained an importer)
+    starts at TOP and self-corrects from the seeded owner output at the
+    first merge.
+    """
+    ids = plan.ids
+    intern = plan.interner.id_of
+    dirty = [
+        f for f, fub in enumerate(plan.fub_names) if fub in warm.dirty_fubs
+    ]
+    if warm.optimistic:
+        # Node outputs stay unseeded (-1): the merge skips entries whose
+        # owner never re-solved — an unsolved owner's exports cannot have
+        # changed — and the final result reuses the baseline's outputs
+        # for untouched FUBs, so interning every node set would be pure
+        # overhead on the path whose whole point is to skip O(n) work.
+        tables = ((f_bnd, warm.f_boundary), (b_bnd, warm.b_boundary))
+    else:
+        tables = (
+            (f_out, warm.f_sets),
+            (b_out, warm.b_sets),
+            (f_bnd, warm.f_boundary),
+            (b_bnd, warm.b_boundary),
+        )
+    for table, seeds in tables:
+        for name, value in seeds.items():
+            nid = ids.get(name)
+            if nid is not None:
+                table[nid] = intern(value)
+    return dirty
 
 
 def _record_fub_averages_compiled(
@@ -1018,11 +1125,26 @@ def _record_fub_averages_compiled(
     b_out: list[int],
     ev: SetEvaluator,
     trace: RelaxationTrace,
+    fubs: list[int] | None = None,
 ) -> None:
-    ev.fill(f_out)
-    ev.fill(b_out)
+    """Record per-FUB average AVFs; *fubs* restricts to a subset.
+
+    Optimistic warm runs pass the FUBs solved this iteration: untouched
+    FUBs' node outputs are intentionally unseeded there, and their
+    converged averages are the baseline's anyway.
+    """
+    if fubs is None:
+        ev.fill(f_out)
+        ev.fill(b_out)
+        fub_list = range(len(plan.fub_names))
+    else:
+        ev.fill(
+            [t[nid] for t in (f_out, b_out) for f in fubs for nid in plan.fub_seq[f]]
+        )
+        fub_list = fubs
     vals = ev._vals
-    for f, fub in enumerate(plan.fub_names):
+    for f in fub_list:
+        fub = plan.fub_names[f]
         seq = plan.fub_seq[f]
         if seq:
             total = 0.0
@@ -1049,11 +1171,20 @@ def resolve_ids(
     *,
     evaluator: SetEvaluator | None = None,
     structures: Mapping[str, StructurePorts] | None = None,
+    only: Sequence[int] | None = None,
 ) -> dict[str, NodeAvf]:
-    """Index-based equivalent of :func:`repro.core.resolve.resolve`."""
+    """Index-based equivalent of :func:`repro.core.resolve.resolve`.
+
+    *only* restricts resolution to those node ids — the incremental
+    (ECO) path resolves just the re-solved FUBs' nodes and reuses the
+    baseline's resolution for the rest.
+    """
     ev = evaluator or SetEvaluator(plan.interner, env)
-    ev.fill(f_sid)
-    ev.fill(b_sid)
+    if only is None:
+        ev.fill(f_sid)
+        ev.fill(b_sid)
+    else:
+        ev.fill([t[nid] for t in (f_sid, b_sid) for nid in only])
     structures = structures if structures is not None else plan.model.structures
     vals = ev._vals
     names, kind_l, fub_l = plan.names, plan.kind_l, plan.fub_l
@@ -1062,7 +1193,9 @@ def resolve_ids(
     lookup = env.lookup
     node_avf = NodeAvf
     out: dict[str, NodeAvf] = {}
-    for nid, net in enumerate(names):
+    node_ids = range(plan.n) if only is None else only
+    for nid in node_ids:
+        net = names[nid]
         fs, bs = f_sid[nid], b_sid[nid]
         f_val = vals[fs] if fs >= 0 else 1.0
         b_val = vals[bs] if bs >= 0 else 1.0

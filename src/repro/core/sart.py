@@ -16,10 +16,11 @@ netlist (or a pre-extracted node graph):
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.errors import SartError
+from repro.errors import SartError, WarmStartDegradedWarning
 from repro.core import controlregs, loops
 from repro.core.compiled import SetEvaluator, SolvePlan, relax_compiled, resolve_ids
 from repro.core.dataflow import solve_backward, solve_forward
@@ -38,7 +39,7 @@ from repro.core.pavf import (
     PavfEnv,
     TOP_SET,
 )
-from repro.core.relaxation import RelaxationTrace, relax
+from repro.core.relaxation import RelaxationTrace, WarmStart, relax
 from repro.core.report import DesignReport, fub_report
 from repro.core.resolve import NodeAvf, resolve
 from repro.core.symbolic import ClosedForm, atom_value
@@ -128,6 +129,11 @@ class SartResult:
     walker_rounds_used: int = 0
     elapsed_seconds: float = 0.0
     stats: dict[str, float] = field(default_factory=dict)
+    # Converged FUBIO boundary tables (compiled partitioned runs only) —
+    # the extra state a later warm start must replay verbatim; see
+    # repro.core.relaxation.WarmStart.
+    f_boundary: dict[str, frozenset[Atom]] | None = None
+    b_boundary: dict[str, frozenset[Atom]] | None = None
 
     def closed_form(self) -> ClosedForm:
         """Closed-form equations for workload re-evaluation (Section 5.2)."""
@@ -194,6 +200,7 @@ def run_sart(
     *,
     extra_struct_bits: Mapping[str, tuple[str, int]] | None = None,
     plan: SolvePlan | None = None,
+    warm_start: WarmStart | None = None,
 ) -> SartResult:
     """Run the full SART flow and return per-node sequential AVFs.
 
@@ -201,6 +208,12 @@ def run_sart(
     propagation; pass one built by :func:`build_plan` to amortize the
     lowering across many runs (*design*/*structures* are then taken from
     the plan).
+
+    *warm_start* (ECO mode) seeds the compiled partitioned relaxation
+    from a previous converged solution so only the dirty FUBs re-solve;
+    build one with :mod:`repro.pipeline.delta`. Requires the compiled
+    engine with FUB partitioning — other engines have no per-FUB state
+    to seed and raise :class:`~repro.errors.SartError`.
     """
     config = config or SartConfig()
     started = time.perf_counter()
@@ -251,9 +264,20 @@ def run_sart(
     trace: RelaxationTrace | None = None
     walker_rounds_used = 0
     node_avfs: dict[str, NodeAvf] | None = None
+    f_boundary: dict[str, frozenset[Atom]] | None = None
+    b_boundary: dict[str, frozenset[Atom]] | None = None
+    partitioned = config.engine == ENGINE_COMPILED and (
+        config.partition_by_fub and plan is not None and plan.n_fubs > 1
+    )
+    if warm_start is not None and not partitioned:
+        raise SartError(
+            "warm_start requires the compiled engine with FUB "
+            "partitioning and a multi-FUB design; run cold instead"
+        )
     if config.engine == ENGINE_COMPILED:
         evaluator = SetEvaluator(plan.interner, env)
-        if config.partition_by_fub and plan.n_fubs > 1:
+        if partitioned:
+            boundary_state: dict = {}
             f_ids, b_ids, trace = relax_compiled(
                 plan,
                 env,
@@ -264,12 +288,83 @@ def run_sart(
                 dangling=config.dangling,
                 workers=config.workers,
                 min_parallel_nodes=config.min_parallel_nodes,
+                warm_start=warm_start,
+                capture_boundary=boundary_state,
             )
+            if (
+                warm_start is not None
+                and warm_start.optimistic
+                and not trace.converged
+            ):
+                # A truncated optimistic trajectory is not comparable to a
+                # truncated cold one (different starting points), so restart
+                # cold to keep ECO output bit-identical with non-ECO runs.
+                warnings.warn(
+                    "optimistic warm start did not converge in "
+                    f"{config.iterations} iterations; restarting cold",
+                    WarmStartDegradedWarning,
+                    stacklevel=2,
+                )
+                boundary_state = {}
+                f_ids, b_ids, trace = relax_compiled(
+                    plan,
+                    env,
+                    evaluator=evaluator,
+                    iterations=config.iterations,
+                    tol=config.tol,
+                    max_terms=config.max_terms,
+                    dangling=config.dangling,
+                    workers=config.workers,
+                    min_parallel_nodes=config.min_parallel_nodes,
+                    capture_boundary=boundary_state,
+                )
+            f_boundary = boundary_state.get("f")
+            b_boundary = boundary_state.get("b")
         else:
             f_ids, b_ids = plan.solve_monolithic(config.max_terms, config.dangling)
-        node_avfs = resolve_ids(plan, f_ids, b_ids, env, evaluator=evaluator)
-        f_sets = plan.sets_dict(f_ids)
-        b_sets = plan.sets_dict(b_ids)
+        if (
+            warm_start is not None
+            and warm_start.optimistic
+            and trace is not None
+            and trace.warm
+            and trace.converged
+            and warm_start.baseline_avfs
+        ):
+            # Assemble the result from the baseline: only nodes of FUBs the
+            # cascade actually re-solved need fresh resolution; everything
+            # else is bit-identical to the seeded baseline by construction.
+            resolved_set = set(trace.resolved_fub_ids)
+            fub_of = plan.fub_of
+            recompute = [
+                nid for nid in range(plan.n) if fub_of[nid] in resolved_set
+            ]
+            fresh = resolve_ids(
+                plan, f_ids, b_ids, env, evaluator=evaluator, only=recompute
+            )
+            # Rebuild the tables in plan (node-id) order — the same
+            # order a cold solve emits — so every downstream consumer
+            # that folds over them (per-FUB averages, weighted report
+            # figures) sums floats in the identical sequence.
+            names, interned = plan.names, plan.interner.sets
+            base_avfs = warm_start.baseline_avfs
+            base_f, base_b = warm_start.f_sets, warm_start.b_sets
+            node_avfs = {}
+            f_sets = {}
+            b_sets = {}
+            for nid in range(plan.n):
+                name = names[nid]
+                if fub_of[nid] in resolved_set:
+                    node_avfs[name] = fresh[name]
+                    f_sets[name] = interned[f_ids[nid]]
+                    b_sets[name] = interned[b_ids[nid]]
+                else:
+                    node_avfs[name] = base_avfs[name]
+                    f_sets[name] = base_f[name]
+                    b_sets[name] = base_b[name]
+        else:
+            node_avfs = resolve_ids(plan, f_ids, b_ids, env, evaluator=evaluator)
+            f_sets = plan.sets_dict(f_ids)
+            b_sets = plan.sets_dict(b_ids)
     elif config.engine == ENGINE_WALK:
         engine = WalkEngine(model, env, max_rounds=config.walker_rounds)
         f_sets = fill_unvisited(engine.run_forward(), graph.nodes)
@@ -309,6 +404,11 @@ def run_sart(
         "visited_fraction": report.visited_fraction,
         "plan_reused": 1.0 if plan_reused else 0.0,
     }
+    if trace is not None and trace.warm:
+        stats["warm"] = 1.0
+        stats["warm_fubs"] = float(trace.warm_fubs)
+        stats["dirty_fubs"] = float(trace.dirty_fubs)
+        stats["resolved_fubs"] = float(trace.resolved_fubs)
     return SartResult(
         node_avfs=node_avfs,
         report=report,
@@ -321,4 +421,6 @@ def run_sart(
         walker_rounds_used=walker_rounds_used,
         elapsed_seconds=elapsed,
         stats=stats,
+        f_boundary=f_boundary,
+        b_boundary=b_boundary,
     )

@@ -14,8 +14,9 @@ import random
 from dataclasses import dataclass, field, replace
 
 from repro.designs.bigcore.fubs import FubResult, FubTemplate, generate_fub
+from repro.errors import NetlistError
 from repro.netlist.builder import ModuleBuilder
-from repro.netlist.netlist import Module
+from repro.netlist.netlist import Instance, Module
 from repro.netlist.validate import validate_module
 
 # Template set: (relative sizing tuned so scale=1.0 gives ~7k sequentials).
@@ -59,6 +60,9 @@ class BigcoreConfig:
     scale: float = 1.0         # multiplies fabric size and array width
     fub_count: int | None = None  # use only the first N templates
     feedback_fubs: int = 3     # how many late FUBs feed back to early ones
+    # ECO probe: name of one FUB to re-buffer post-generation (see
+    # _apply_fub_edit). None builds the pristine design.
+    edit: str | None = None
 
 
 @dataclass
@@ -119,8 +123,53 @@ def build_bigcore(config: BigcoreConfig | None = None) -> BigcoreDesign:
         b.gate("BUF", [net], out=port, attrs={"fub": results[-1].name})
 
     module = b.done()
+    if config.edit:
+        _apply_fub_edit(module, config.edit)
     validate_module(module)
     return BigcoreDesign(module=module, fubs=results, config=config, structure_kinds=kinds)
+
+
+def _apply_fub_edit(module: Module, fub: str) -> None:
+    """The canonical one-FUB ECO: re-buffer one pipeline flop's input.
+
+    Inserts a double inverter in front of the data pin of the
+    first-by-name plain flop (no struct/ctrlreg role) inside *fub* —
+    the netlist-level shape of a timing/drive-strength fix. Annotation
+    sets pass through single-input combinational gates verbatim, so the
+    converged solution of every pre-existing node is unchanged; that
+    makes this edit the canonical probe for incremental re-solve (a
+    correct ECO run must re-solve the edited FUB, find its boundary
+    exports unchanged, and stop) and keeps warm-vs-cold comparisons
+    meaningful at every scale.
+    """
+    target = min(
+        (
+            inst
+            for inst in module.instances.values()
+            if inst.kind == "DFF"
+            and inst.attrs.get("fub") == fub
+            and "struct" not in inst.attrs
+            and "ctrlreg" not in inst.attrs
+            and "d" in inst.conn
+        ),
+        key=lambda inst: inst.name,
+        default=None,
+    )
+    if target is None:
+        raise NetlistError(
+            f"edit={fub!r}: no plain DFF to edit in that FUB "
+            "(unknown FUB name, or only structure/control bits)"
+        )
+    source = target.conn["d"]
+    mid = module.add_net(f"{fub}/eco$1")
+    out = module.add_net(f"{fub}/eco$2")
+    module.add_instance(Instance(
+        f"{fub}/eco_inv1", "NOT", {"a": source, "y": mid}, attrs={"fub": fub}
+    ))
+    module.add_instance(Instance(
+        f"{fub}/eco_inv2", "NOT", {"a": mid, "y": out}, attrs={"fub": fub}
+    ))
+    target.conn["d"] = out
 
 
 def _scaled(template: FubTemplate, scale: float) -> FubTemplate:

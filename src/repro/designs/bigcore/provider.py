@@ -3,9 +3,9 @@
 Adapts the synthetic big-core generator to the uniform
 :class:`~repro.pipeline.registry.DesignProvider` protocol. The
 fingerprint covers the full :class:`~repro.designs.bigcore.core
-.BigcoreConfig` (seed, scale, fub_count, feedback_fubs), so two runs at
-the same generator parameters share every downstream cache entry while
-any parameter change invalidates them.
+.BigcoreConfig` (seed, scale, fub_count, feedback_fubs, edit), so two
+runs at the same generator parameters share every downstream cache entry
+while any parameter change invalidates them.
 """
 
 from __future__ import annotations
@@ -32,12 +32,15 @@ class BigcoreProvider:
             parts.append(f"fub_count={c.fub_count}")
         if c.feedback_fubs != 3:
             parts.append(f"feedback_fubs={c.feedback_fubs}")
+        if c.edit is not None:
+            parts.append(f"edit={c.edit}")
         return "bigcore@" + ",".join(parts)
 
     def fingerprint(self) -> str:
         c = self.config
         return stage_fingerprint(
-            "design", "bigcore", c.seed, c.scale, c.fub_count, c.feedback_fubs
+            "design", "bigcore", c.seed, c.scale, c.fub_count, c.feedback_fubs,
+            c.edit,
         )
 
     def build(self) -> DesignArtifact:

@@ -35,6 +35,12 @@ def print_stats(result, echo: Callable[[str], None] = print) -> None:
             f"relaxation: {result.trace.iterations} iterations, "
             f"converged={result.trace.converged}"
         )
+    if s.get("warm"):
+        total = int(s["warm_fubs"] + s["dirty_fubs"])
+        echo(
+            f"eco: warm start, re-solved {int(s['resolved_fubs'])}/{total} "
+            f"FUBs (dirty={int(s['dirty_fubs'])})"
+        )
 
 
 def export_sart(
@@ -90,6 +96,16 @@ def run_summary(outcome, *, program: str | None = None) -> dict:
     }
     if outcome.sart is not None:
         payload["weighted_seq_avf"] = outcome.sart.result.report.weighted_seq_avf
+        sart = outcome.sart
+        if sart.warm or sart.fub_hits or sart.fub_misses:
+            trace = sart.result.trace
+            payload["eco"] = {
+                "warm": sart.warm,
+                "fub_hits": sart.fub_hits,
+                "fub_misses": sart.fub_misses,
+                "dirty_fubs": list(sart.dirty_fubs),
+                "resolved_fubs": trace.resolved_fubs if trace else 0,
+            }
     if outcome.sweep:
         payload["sweep"] = [
             {"loop_pavf": p.value,

@@ -39,6 +39,10 @@ STAGE_VERSIONS: dict[str, int] = {
     "sart": 1,
     "sfi": 1,
     "beam": 1,
+    # Per-(FUB, direction) converged sub-solutions (ECO mode). Bump when
+    # the per-FUB structural fingerprint scheme or the FubSolution layout
+    # changes (repro.pipeline.delta).
+    "fubsol": 1,
 }
 
 

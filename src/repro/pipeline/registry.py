@@ -151,6 +151,7 @@ def _make_bigcore(body: str, params: dict[str, str], ref: str) -> DesignProvider
         scale=_coerce(params, "scale", float, 1.0),
         fub_count=_coerce(params, "fub_count", int, None),
         feedback_fubs=_coerce(params, "feedback_fubs", int, 3),
+        edit=_coerce(params, "edit", str, None),
     )
     _reject_unknown(params, ref)
     return BigcoreProvider(config=config)

@@ -124,6 +124,65 @@ def _export_design(design: DesignArtifact, export, notify) -> str:
     return export.output
 
 
+def _eco_warm_start(ctx, spec: RunSpec, outcome: RunOutcome, config: SartConfig):
+    """Solve the ``[eco]`` baseline and build the optimistic warm start.
+
+    The baseline design goes through the same design/plan/sart stages as
+    any run (so a configured store serves its per-FUB solutions), then
+    the two compiled plans are diffed and the baseline's converged
+    solution seeds the main solve. Returns None — and the main solve
+    runs cold — when the eco path cannot apply (non-compiled engine,
+    single-FUB design, or a baseline without a converged partitioned
+    solution).
+    """
+    from repro.pipeline import delta as delta_mod
+
+    if outcome.plan is None or outcome.plan.plan.n_fubs < 2:
+        ctx.notify("eco:skip", reason="eco needs a compiled multi-FUB plan")
+        return None
+    provider = resolve_design(spec.eco.baseline)
+    base_design = stage_design(ctx, provider)
+    base_plan = stage_plan(ctx, base_design, outcome.port_env, config)
+    base_sart = stage_sart(
+        ctx, base_design, outcome.port_env, config, base_plan
+    )
+    delta = delta_mod.diff_plans(
+        base_plan.plan, outcome.plan.plan,
+        ref_a=base_design.ref, ref_b=outcome.design.ref,
+    )
+    ctx.notify("eco:delta", delta=delta, baseline=base_design.ref)
+    warm = delta_mod.warm_start_from_result(
+        outcome.plan.plan, delta.touched, base_sart.result
+    )
+    if warm is None:
+        ctx.notify("eco:skip", reason="baseline solution is not seedable")
+    return warm
+
+
+def _eco_check(ctx, design: DesignArtifact, outcome: RunOutcome,
+               config: SartConfig) -> None:
+    """``[eco] check``: cold-solve the design and verify equivalence."""
+    from repro.core.sart import run_sart
+    from repro.errors import PipelineError
+
+    ports = outcome.port_env.ports if outcome.port_env is not None else None
+    cold = run_sart(design.module, ports, config, plan=outcome.plan.plan)
+    warm_result = outcome.sart.result
+    identical = (
+        warm_result.node_avfs == cold.node_avfs
+        and warm_result.f_sets == cold.f_sets
+        and warm_result.b_sets == cold.b_sets
+    )
+    ctx.notify("eco:check", identical=identical,
+               cold_seconds=cold.elapsed_seconds,
+               warm_seconds=warm_result.elapsed_seconds)
+    if not identical:
+        raise PipelineError(
+            "eco check failed: incremental solve is not bit-identical "
+            "to the cold solve"
+        )
+
+
 def execute(
     spec: RunSpec,
     *,
@@ -159,9 +218,15 @@ def execute(
         config = sart_config(spec.sart or SartSpec())
         if config.engine == "compiled":
             outcome.plan = stage_plan(ctx, design, outcome.port_env, config)
+        warm = None
+        if spec.eco is not None:
+            warm = _eco_warm_start(ctx, spec, outcome, config)
         outcome.sart = stage_sart(
-            ctx, design, outcome.port_env, config, outcome.plan
+            ctx, design, outcome.port_env, config, outcome.plan,
+            warm_start=warm,
         )
+        if spec.eco is not None and spec.eco.check:
+            _eco_check(ctx, design, outcome, config)
 
     # --- Figure-8 loop sweep -------------------------------------------
     if "sweep" in stages:

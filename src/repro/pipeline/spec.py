@@ -114,6 +114,23 @@ class ExportSpec:
 
 
 @dataclass(frozen=True)
+class EcoSpec:
+    """Incremental re-solve against a baseline design (``[eco]``).
+
+    ``baseline`` is a design reference; the runner solves it first (its
+    per-FUB solutions come from the artifact store when one is
+    configured), diffs the two compiled plans, and warm-starts the main
+    design's SART solve from the baseline so only the FUBs the edit
+    actually influences re-solve — bit-identical to a cold run.
+    ``check`` additionally runs the cold solve and verifies the
+    equivalence, for CI smoke and debugging.
+    """
+
+    baseline: str
+    check: bool = False
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """A complete declarative description of one analysis run."""
 
@@ -126,6 +143,7 @@ class RunSpec:
     beam: BeamSpec | None = None
     campaign: CampaignSpec = field(default_factory=CampaignSpec)
     export: ExportSpec | None = None
+    eco: EcoSpec | None = None
 
     def to_mapping(self) -> dict[str, Any]:
         """Canonical JSON-safe document (round-trips via
@@ -150,7 +168,8 @@ class RunSpec:
         out = []
         if self.export:
             out.append("export")
-        if self.sart or not (self.sweep or self.sfi or self.beam or self.export):
+        if (self.sart or self.eco
+                or not (self.sweep or self.sfi or self.beam or self.export)):
             out.append("sart")
         if self.sweep:
             out.append("sweep")
@@ -169,8 +188,10 @@ _SECTIONS = {
     "beam": BeamSpec,
     "campaign": CampaignSpec,
     "export": ExportSpec,
+    "eco": EcoSpec,
 }
-_BOOLEANS = {"monolithic", "per_node", "include_arrays", "parity", "batched"}
+_BOOLEANS = {"monolithic", "per_node", "include_arrays", "parity", "batched",
+             "check"}
 
 
 def _section(cls, data: Mapping[str, Any], name: str):
@@ -238,6 +259,7 @@ def spec_from_mapping(data: Mapping[str, Any]) -> RunSpec:
         beam=sections.get("beam"),
         campaign=sections.get("campaign", CampaignSpec()),
         export=sections.get("export"),
+        eco=sections.get("eco"),
     )
 
 

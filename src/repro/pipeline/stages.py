@@ -23,8 +23,13 @@ sfi/beam  design fingerprint + full campaign plan parameters; skipped
           campaigns that recorded permanent pass failures
 ========  ==========================================================
 
-SART solves themselves are *not* persisted: with a cached plan they are
-re-evaluations, which is the paper's own speed story.
+SART solves themselves are *not* persisted whole: with a cached plan
+they are re-evaluations, which is the paper's own speed story. Compiled
+partitioned solves do persist their per-(FUB, direction) converged
+sub-solutions under ``fubsol`` keys (ECO mode, see
+:mod:`repro.pipeline.delta`), so a later solve of an edited design hits
+on every unchanged FUB and warm-starts the relaxation over the dirty
+set alone.
 """
 
 from __future__ import annotations
@@ -291,14 +296,73 @@ def stage_sart(
     port_env: PortEnv | None,
     config: SartConfig,
     plan: PlanArtifact | None = None,
+    *,
+    warm_start=None,
 ) -> SartOutcome:
-    """One SART solve (propagation + resolution); never persisted."""
+    """One SART solve (propagation + resolution).
+
+    The whole-design solve is never persisted — with a cached plan it is
+    a re-evaluation, the paper's own speed story. What *is* persisted,
+    for compiled partitioned runs against a real store, are the
+    per-(FUB, direction) converged sub-solutions (ECO mode,
+    :mod:`repro.pipeline.delta`): before solving, the store is consulted
+    per FUB, hits seed a warm start so only the FUBs whose sub-results
+    are missing re-solve, and after a converged solve the missing
+    entries are back-filled. A one-FUB edit therefore hits on every
+    other FUB and re-solves only the edit's reachable dirty set —
+    bit-identical to a cold solve.
+
+    An explicit *warm_start* (the design-delta flow, built by
+    :func:`repro.pipeline.delta.warm_start_from_result`) takes
+    precedence: the store is neither consulted nor back-filled, the
+    supplied seed drives the solve directly.
+    """
     started = time.perf_counter()
     ports = port_env.ports if port_env is not None else None
+    eco = (
+        warm_start is None
+        and plan is not None
+        and not isinstance(ctx.store, NullStore)
+        and config.engine == "compiled"
+        and config.partition_by_fub
+        and plan.plan.n_fubs > 1
+    )
+    warm = warm_start
+    fub_keys = None
+    fub_fps = None
+    hits = misses = 0
+    hit_pairs: list[tuple[str, str]] = []
+    if eco:
+        from repro.pipeline import delta as delta_mod
+
+        context_fp = delta_mod.eco_context_fingerprint(
+            config, port_env.fingerprint if port_env is not None else None
+        )
+        fub_fps = plan.fub_fingerprints
+        fub_keys = delta_mod.fub_solution_keys(
+            plan.plan, context_fp, fingerprints=fub_fps
+        )
+        warm, hits, misses, hit_pairs = delta_mod.warm_start_from_store(
+            ctx.store, plan.plan, fub_keys
+        )
+        ctx.notify(
+            "eco", fub_hits=hits, fub_misses=misses,
+            dirty=sorted(warm.dirty_fubs) if warm is not None else None,
+        )
+
     if plan is not None:
-        result = run_sart(design.module, ports, config, plan=plan.plan)
+        result = run_sart(
+            design.module, ports, config, plan=plan.plan, warm_start=warm
+        )
     else:
         result = run_sart(design.module, ports, config)
+
+    if eco and misses:
+        from repro.pipeline import delta as delta_mod
+
+        delta_mod.save_fub_solutions(
+            ctx.store, plan.plan, result, fub_keys, skip=hit_pairs
+        )
     fp = fingerprint(
         "sart",
         plan.fingerprint if plan is not None else design.fingerprint,
@@ -310,6 +374,11 @@ def stage_sart(
         fingerprint=fp,
         result=result,
         plan_fingerprint=plan.fingerprint if plan is not None else None,
+        fub_fingerprints=fub_fps,
+        fub_hits=hits,
+        fub_misses=misses,
+        warm=warm is not None,
+        dirty_fubs=tuple(sorted(warm.dirty_fubs)) if warm is not None else (),
     )
     ctx.events.append(
         StageEvent("sart", fp, False, time.perf_counter() - started)

@@ -127,6 +127,28 @@ class ArtifactStore:
                 CacheDegradedWarning, stacklevel=2)
         return obj, False
 
+    def load_many(
+        self, stage: str, fingerprints: list[str]
+    ) -> tuple[dict[str, Any], int, int]:
+        """Batch-load one stage's entries: ``(found, hits, misses)``.
+
+        The per-FUB solution path (ECO mode) addresses dozens of
+        sub-results per solve; this keeps the hit/miss accounting in one
+        place — a missing or corrupt entry is a miss, never an error —
+        and bumps the instance tallies so ``BENCH_eco.json`` and the
+        serve counters read one source of truth.
+        """
+        found: dict[str, Any] = {}
+        for fp in fingerprints:
+            obj = self.load(stage, fp)
+            if obj is not None:
+                found[fp] = obj
+        hits = len(found)
+        misses = len(fingerprints) - hits
+        self.hits += hits
+        self.misses += misses
+        return found, hits, misses
+
     def entries(self) -> list[tuple[str, str]]:
         """All (stage, fingerprint) pairs currently on disk."""
         out: list[tuple[str, str]] = []
@@ -174,6 +196,12 @@ class NullStore:
 
     def save(self, stage: str, fingerprint: str, obj: Any) -> None:
         return None
+
+    def load_many(
+        self, stage: str, fingerprints: list[str]
+    ) -> tuple[dict[str, Any], int, int]:
+        self.misses += len(fingerprints)
+        return {}, 0, len(fingerprints)
 
     def fetch(
         self, stage: str, fingerprint: str, compute: Callable[[], Any]

@@ -36,6 +36,13 @@ class ServeCounters:
     recovered: int = 0         # jobs replayed from the journal on boot
     resumed: int = 0           # recovered jobs that had to re-execute
     retries: int = 0           # job-level retry attempts
+    # ECO mode: jobs whose SART solve touched the per-FUB solution
+    # store or an explicit warm-start baseline.
+    eco_jobs: int = 0          # completed jobs that reported an eco block
+    fub_hits: int = 0          # per-(FUB, direction) store hits across jobs
+    fub_misses: int = 0        # per-(FUB, direction) store misses
+    warm_solves: int = 0       # eco jobs solved from a warm start
+    cold_solves: int = 0       # eco jobs that still ran cold (all misses)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -56,6 +63,11 @@ class ServeCounters:
                 "recovered": self.recovered,
                 "resumed": self.resumed,
                 "retries": self.retries,
+                "eco_jobs": self.eco_jobs,
+                "fub_hits": self.fub_hits,
+                "fub_misses": self.fub_misses,
+                "warm_solves": self.warm_solves,
+                "cold_solves": self.cold_solves,
             }
 
 

@@ -270,6 +270,14 @@ class JobScheduler:
         self.journal.record(event=DONE, job=job.id, result=result, time=now)
         job.transition(DONE, result=result)
         self.counters.bump("completed")
+        eco = result.get("eco") if isinstance(result, dict) else None
+        if eco:
+            self.counters.bump("eco_jobs")
+            self.counters.bump("fub_hits", int(eco.get("fub_hits", 0)))
+            self.counters.bump("fub_misses", int(eco.get("fub_misses", 0)))
+            self.counters.bump(
+                "warm_solves" if eco.get("warm") else "cold_solves"
+            )
         self._cleanup_checkpoint(job)
 
     def _fail(self, job: Job, message: str) -> None:

@@ -30,9 +30,14 @@ def test_bigcore_warm_cache_cli(tmp_path, capsys):
     warm = capsys.readouterr().out
     assert "ACE suite: 8 workloads reused from cache" in warm
     assert "running" not in warm
+    # Second run warm-starts from the per-FUB solution store and
+    # converges immediately (ECO mode).
+    assert "relaxation: 1 iterations, converged=True" in warm
+    assert "eco: warm start, re-solved 0/" in warm
 
-    # Numeric output is identical either way.
-    skip = ("running", "ACE suite")
+    # Numeric output is identical either way; run metadata (iteration
+    # counts, eco notes) legitimately differs between cold and warm.
+    skip = ("running", "ACE suite", "relaxation:", "eco:")
     cold_rows = [l for l in _strip_timing(cold).splitlines()
                  if not l.startswith(skip)]
     warm_rows = [l for l in _strip_timing(warm).splitlines()
@@ -41,7 +46,7 @@ def test_bigcore_warm_cache_cli(tmp_path, capsys):
 
     store = ArtifactStore(cache)
     stages = {stage for stage, _ in store.entries()}
-    assert stages == {"ace", "plan"}
+    assert stages == {"ace", "plan", "fubsol"}
 
 
 def test_bigcore_warm_cache_events(tmp_path):
@@ -55,7 +60,12 @@ def test_bigcore_warm_cache_events(tmp_path):
     store = ArtifactStore(tmp_path / "cache")
     warm = execute(spec, store=store)
     assert {e.stage for e in warm.events if e.cached} == {"ace", "plan"}
-    assert warm.cache_hits == 2 and warm.cache_misses == 0
+    # ace + plan + one fubsol entry per (FUB, direction).
+    assert warm.sart.fub_hits > 0
+    assert warm.cache_hits == 2 + warm.sart.fub_hits
+    assert warm.cache_misses == 0
+    assert warm.sart.warm and warm.sart.fub_misses == 0
+    assert warm.sart.result.trace.resolved_fubs == 0
     assert (warm.sart.result.report.table()
             == cold.sart.result.report.table())
 

@@ -1,0 +1,149 @@
+"""The ``diff`` and ``eco`` subcommands, end to end on bigcore edits.
+
+The canonical ECO here is ``bigcore@...,edit=LSU`` — a numerically
+neutral double inverter inside the LSU — against the unedited design as
+baseline. One shared cache directory keeps the (design-independent)
+ACE suite warm across the flows.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.pipeline import ArtifactStore, RunSpec, WorkloadsSpec, execute
+from repro.pipeline.spec import EcoSpec
+
+BASE = "bigcore@scale=0.1"
+EDIT = "bigcore@scale=0.1,edit=LSU"
+WORKLOADS = ["--workloads-per-class", "1", "--workload-length", "400"]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("eco-cache"))
+
+
+# ----------------------------------------------------------------------
+# the edited-design reference itself
+# ----------------------------------------------------------------------
+
+def test_bigcore_edit_param_changes_ref_and_fingerprint():
+    from repro.pipeline.registry import resolve_design
+
+    base, edited = resolve_design(BASE), resolve_design(EDIT)
+    assert "edit=LSU" in edited.ref and "edit=" not in base.ref
+    assert base.fingerprint() != edited.fingerprint()
+    module = edited.build().module
+    assert "LSU/eco_inv1" in module.instances
+
+
+def test_bigcore_edit_rejects_unknown_fub():
+    from repro.designs.bigcore import BigcoreConfig, build_bigcore
+    from repro.errors import NetlistError
+
+    with pytest.raises(NetlistError, match="no plain DFF"):
+        build_bigcore(BigcoreConfig(scale=0.1, edit="NOSUCH"))
+
+
+# ----------------------------------------------------------------------
+# repro-sart diff
+# ----------------------------------------------------------------------
+
+def test_diff_cli(cache_dir, tmp_path, capsys):
+    out_json = str(tmp_path / "delta.json")
+    assert main(["diff", BASE, EDIT, "--cache-dir", cache_dir,
+                 "--export-json", out_json]) == 0
+    out = capsys.readouterr().out
+    # Canonical refs (with defaults materialized) head the report.
+    assert "design delta: bigcore@scale=0.1,seed=42 -> " \
+           "bigcore@scale=0.1,seed=42,edit=LSU" in out
+    assert "LSU" in out and "changed" in out
+    doc = json.loads(open(out_json).read())
+    assert doc["changed"] == ["LSU"]
+    assert not doc["added"] and not doc["removed"]
+    # bigcore's FUBs form one connected dependency web: the static
+    # dirty set saturates (the honest over-approximation; the dynamic
+    # re-solve front is what stays small).
+    assert doc["n_fubs"] == len(doc["dirty"])
+
+
+def test_diff_cli_noop(capsys):
+    assert main(["diff", BASE, BASE]) == 0
+    out = capsys.readouterr().out
+    assert "0 changed, 0 added, 0 removed" in out
+
+
+# ----------------------------------------------------------------------
+# repro-sart eco
+# ----------------------------------------------------------------------
+
+def test_eco_cli_with_check(cache_dir, tmp_path, capsys):
+    out_json = str(tmp_path / "eco.json")
+    assert main(["eco", EDIT, "--baseline", BASE, "--check",
+                 "--cache-dir", cache_dir, "--export-json", out_json]
+                + WORKLOADS) == 0
+    out = capsys.readouterr().out
+    assert f"baseline: {BASE}" in out
+    assert "eco: warm start, re-solved" in out
+    assert "eco check: bit-identical=True" in out
+    doc = json.loads(open(out_json).read())
+    assert doc["eco"]["warm"] is True
+    assert doc["eco"]["dirty_fubs"] == ["LSU"]
+    # The neutral edit re-solves only the edited FUB.
+    assert doc["eco"]["resolved_fubs"] == 1
+
+
+def test_eco_cli_monolithic_falls_back_cold(cache_dir, capsys):
+    assert main(["eco", EDIT, "--baseline", BASE, "--monolithic",
+                 "--cache-dir", cache_dir] + WORKLOADS) == 0
+    out = capsys.readouterr().out
+    assert "eco: falling back to a cold solve" in out
+    assert "avg AVF" in out or "fub" in out  # the report still prints
+
+
+# ----------------------------------------------------------------------
+# per-FUB store reuse across design references
+# ----------------------------------------------------------------------
+
+def test_store_serves_unchanged_fubs_across_designs(cache_dir):
+    workloads = WorkloadsSpec(per_class=1, length=400)
+    store = ArtifactStore(cache_dir)
+    execute(RunSpec(design=BASE, workloads=workloads), store=store)
+
+    edited = execute(
+        RunSpec(design=EDIT, workloads=workloads),
+        store=ArtifactStore(cache_dir),
+    )
+    sart = edited.sart
+    # The LSU's keys (and those of FUBs that can reach it) miss; the
+    # rest of the design is served from the baseline's entries.
+    assert sart.warm and sart.fub_hits > 0 and sart.fub_misses > 0
+    assert sart.result.trace.converged
+
+    cold = execute(RunSpec(design=EDIT, workloads=workloads))
+    assert sart.result.node_avfs == cold.sart.result.node_avfs
+    assert sart.result.f_sets == cold.sart.result.f_sets
+    assert sart.result.b_sets == cold.sart.result.b_sets
+
+    # A third run of the edited design hits on every entry.
+    again = execute(
+        RunSpec(design=EDIT, workloads=workloads),
+        store=ArtifactStore(cache_dir),
+    )
+    assert again.sart.fub_misses == 0
+    assert again.sart.result.trace.resolved_fubs == 0
+
+
+def test_eco_spec_flow_matches_store_flow(cache_dir):
+    # The [eco] delta path and the per-FUB store path are independent
+    # reuse disciplines; both must land on the same numbers.
+    workloads = WorkloadsSpec(per_class=1, length=400)
+    eco = execute(
+        RunSpec(design=EDIT, workloads=workloads,
+                eco=EcoSpec(baseline=BASE)),
+        store=ArtifactStore(cache_dir),
+    )
+    cold = execute(RunSpec(design=EDIT, workloads=workloads))
+    assert eco.sart.warm
+    assert eco.sart.result.node_avfs == cold.sart.result.node_avfs

@@ -171,3 +171,46 @@ def test_execute_spec_directly():
     assert outcome.golden is not None and outcome.golden.halted
     assert outcome.sart is None  # sfi-only spec skips the report
     assert [e.stage for e in outcome.events] == ["design", "golden", "sfi"]
+
+
+# ----------------------------------------------------------------------
+# [eco] — incremental re-solve sections
+# ----------------------------------------------------------------------
+
+def test_eco_section_parses_and_infers_sart():
+    from repro.pipeline.spec import EcoSpec
+
+    spec = spec_from_mapping({
+        "design": "bigcore@scale=0.1,edit=LSU",
+        "eco": {"baseline": "bigcore@scale=0.1", "check": True},
+    })
+    assert spec.eco == EcoSpec(baseline="bigcore@scale=0.1", check=True)
+    # An eco section implies a SART solve even without [sart].
+    assert spec.stages() == ["sart"]
+
+
+def test_eco_section_round_trips_through_mapping():
+    spec = spec_from_mapping({
+        "design": "bigcore@scale=0.1,edit=LSU",
+        "eco": {"baseline": "bigcore@scale=0.1"},
+    })
+    doc = spec.to_mapping()
+    assert doc["eco"] == {"baseline": "bigcore@scale=0.1", "check": False}
+    assert spec_from_mapping(doc) == spec
+
+
+def test_eco_toml_loading_and_validation(tmp_path):
+    path = tmp_path / "eco.toml"
+    path.write_text(
+        'design = "bigcore@scale=0.1,edit=LSU"\n'
+        '[eco]\nbaseline = "bigcore@scale=0.1"\ncheck = true\n'
+    )
+    spec = load_spec(str(path))
+    assert spec.eco.baseline == "bigcore@scale=0.1"
+    assert spec.eco.check is True
+    with pytest.raises(SpecError, match=r"unknown key\(s\) \['basis'\]"):
+        spec_from_mapping({
+            "design": "bigcore", "eco": {"basis": "bigcore"},
+        })
+    with pytest.raises(SpecError):
+        spec_from_mapping({"design": "bigcore", "eco": {}})

@@ -232,3 +232,47 @@ def test_worker_crash_degrades_job_not_server(tmp_path):
         assert counters["failed"] == 1 and counters["completed"] == 2
     finally:
         sched.drain(grace=10)
+
+
+def _eco_worker(task):
+    """A job whose summary carries an ECO block (warm or cold by knob)."""
+    warm = task["spec"]["sart"]["loop_pavf"] > 0.5
+    return {
+        "ok": True,
+        "eco": {"warm": warm, "fub_hits": 4 if warm else 0,
+                "fub_misses": 2, "dirty_fubs": ["LSU"]},
+    }
+
+
+def test_eco_counters_accumulate_from_job_results(tmp_path):
+    sched = _scheduler(tmp_path, worker=_eco_worker)
+    sched.start()
+    try:
+        warm_spec = {"design": "tinycore:fib", "sart": {"loop_pavf": 0.9}}
+        cold_spec = {"design": "tinycore:fib", "sart": {"loop_pavf": 0.1}}
+        for spec in (warm_spec, cold_spec):
+            job, _ = sched.submit(dict(spec))
+            assert job.await_terminal(timeout=30) and job.state == DONE
+        counters = sched.counters.snapshot()
+        assert counters["eco_jobs"] == 2
+        assert counters["warm_solves"] == 1
+        assert counters["cold_solves"] == 1
+        assert counters["fub_hits"] == 4
+        assert counters["fub_misses"] == 4
+        # The /stats document surfaces the same counters.
+        assert sched.stats()["counters"]["eco_jobs"] == 2
+    finally:
+        sched.drain(grace=5)
+
+
+def test_jobs_without_eco_blocks_leave_counters_untouched(tmp_path):
+    sched = _scheduler(tmp_path)          # _ok_worker: no eco block
+    sched.start()
+    try:
+        job, _ = sched.submit(dict(SPEC))
+        assert job.await_terminal(timeout=30) and job.state == DONE
+        counters = sched.counters.snapshot()
+        assert counters["eco_jobs"] == 0
+        assert counters["warm_solves"] == counters["cold_solves"] == 0
+    finally:
+        sched.drain(grace=5)

@@ -222,7 +222,8 @@ def test_loadgen_cli_against_live_server(tmp_path, capsys):
     from repro.serve.server import ServeApp
 
     def stub_worker(task):
-        return {"ok": True}
+        return {"ok": True,
+                "eco": {"warm": True, "fub_hits": 3, "fub_misses": 1}}
 
     app = ServeApp(str(tmp_path / "state"), worker=stub_worker,
                    queue_limit=16).start_background()
@@ -235,9 +236,14 @@ def test_loadgen_cli_against_live_server(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "4 identical requests -> 1 job(s), 1 execution(s)" in out
+    assert "warm / 0 cold" in out  # jobs reported eco blocks
     doc = json.loads((tmp_path / "bench.json").read_text())
     assert doc["completed"] == 2
     assert doc["dedup_burst"]["executions"] == 1
+    counters = doc["server_counters"]
+    assert counters["eco_jobs"] == counters["completed"]
+    assert counters["fub_hits"] == 3 * counters["eco_jobs"]
+    assert counters["warm_solves"] == counters["eco_jobs"]
 
 
 def test_version_flag(capsys):

@@ -16,11 +16,22 @@ bit-cycles during which the structure held ACE (or unknown) state:
 ``StructureAvf.avf`` is then ACE bit-cycles divided by (bits x cycles).
 The same event stream feeds the port counters used for pAVF extraction
 (:mod:`repro.ace.portavf`).
+
+Beyond the AVF integral, every consumed segment also records its
+**error-reporting deadline** — the number of cycles between the write
+and the (last) consumption of the value, i.e. how long an error-check
+has to report a corruption in that value before it is architecturally
+consumed (Jaulmes et al.). The per-structure
+:class:`DeadlineDistribution` is an exact weighted histogram of those
+deadlines, ace-bit-weighted, so its total mass equals the structure's
+ACE bit-cycles by construction (the conservation invariant the verify
+harness checks).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.errors import AceError
 
@@ -31,6 +42,91 @@ class _Segment:
     ace_bits: int
     last_read: int | None = None
     reads: int = 0
+
+
+@dataclass
+class DeadlineDistribution:
+    """Weighted histogram of error-reporting deadlines (cycles).
+
+    One entry per *consumed* ACE segment: the deadline is the segment's
+    write-to-consumption span, the weight its ACE bit count. Never-
+    consumed writes contribute no event (a corruption there has no
+    reporting deadline — it is architecturally masked), and segments
+    still open at end of simulation are *unknown*, not part of the
+    histogram. Accumulation is commutative, so event order within a
+    cycle cannot perturb the distribution, and :meth:`merge` of
+    partitioned accumulators equals one-shot accumulation exactly.
+    """
+
+    histogram: dict[int, float] = field(default_factory=dict)
+    events: int = 0
+
+    def record(self, deadline: int, weight: float) -> None:
+        if weight <= 0:
+            return
+        self.histogram[deadline] = self.histogram.get(deadline, 0.0) + weight
+        self.events += 1
+
+    def merge(self, other: "DeadlineDistribution") -> None:
+        for deadline, weight in other.histogram.items():
+            self.histogram[deadline] = self.histogram.get(deadline, 0.0) + weight
+        self.events += other.events
+
+    def total_weight(self) -> float:
+        return sum(self.histogram.values())
+
+    def weighted_cycles(self) -> float:
+        """Total deadline x weight mass — equals the ACE bit-cycles
+        contributed by consumed segments (the conservation invariant)."""
+        return sum(d * w for d, w in self.histogram.items())
+
+    def quantile(self, q: float) -> int:
+        """Smallest deadline covering fraction *q* of the ACE-bit mass."""
+        total = self.total_weight()
+        if total <= 0:
+            return 0
+        acc = 0.0
+        for deadline in sorted(self.histogram):
+            acc += self.histogram[deadline]
+            if acc >= q * total - 1e-12:
+                return deadline
+        return self.max_deadline()
+
+    def max_deadline(self) -> int:
+        return max(self.histogram) if self.histogram else 0
+
+    def mean(self) -> float:
+        total = self.total_weight()
+        return self.weighted_cycles() / total if total > 0 else 0.0
+
+    def to_summary(self) -> dict:
+        """JSON-safe form (string histogram keys round-trip)."""
+        return {
+            "events": self.events,
+            "total_weight": self.total_weight(),
+            "mass_cycles": self.weighted_cycles(),
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "max": self.max_deadline(),
+            "mean": self.mean(),
+            "histogram": {str(d): w for d, w in sorted(self.histogram.items())},
+        }
+
+    @classmethod
+    def from_summary(cls, summary: Mapping) -> "DeadlineDistribution":
+        out = cls()
+        out.events = int(summary.get("events", 0))
+        out.histogram = {
+            int(d): float(w) for d, w in summary.get("histogram", {}).items()
+        }
+        return out
+
+    @classmethod
+    def merged(cls, parts: Iterable["DeadlineDistribution"]) -> "DeadlineDistribution":
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
 
 
 @dataclass
@@ -51,6 +147,7 @@ class StructureAvf:
     ace_read_bitsum: float = 0.0   # sum of ace_bits over segments, per read
     ace_write_bitsum: float = 0.0  # sum of ace_bits over writes
     cycles: int = 0
+    deadlines: DeadlineDistribution = field(default_factory=DeadlineDistribution)
 
     def avf(self) -> float:
         """Structure AVF per Eq 3 (unknown counted as ACE)."""
@@ -82,6 +179,19 @@ class StructureAvf:
     def ace_throughput(self) -> float:
         """ACE values entering per cycle (Little's-law throughput term)."""
         return self.ace_writes / max(1, self.cycles)
+
+    def deadline_summary(self) -> dict:
+        """JSON-safe deadline distribution with its conservation context.
+
+        ``mass_cycles`` must equal ``ace_bit_cycles`` (every consumed
+        segment's span x ace_bits lands in both), ``max`` never exceeds
+        ``cycles`` — the invariants the deadline-sanity oracle checks.
+        """
+        summary = self.deadlines.to_summary()
+        summary["ace_bit_cycles"] = self.ace_bit_cycles
+        summary["unknown_bit_cycles"] = self.unknown_bit_cycles
+        summary["cycles"] = self.cycles
+        return summary
 
 
 class AceLifetimeAnalyzer:
@@ -162,6 +272,12 @@ class AceLifetimeAnalyzer:
         else:
             span = 0  # written, never needed: un-ACE residency
         stats.ace_bit_cycles += span * segment.ace_bits
+        if segment.last_read is not None or consumed:
+            # A consumption event: the span is the error-reporting
+            # deadline for this value. Never-consumed segments record
+            # nothing (and contribute 0 bit-cycles above), which keeps
+            # histogram mass == ace_bit_cycles exact.
+            stats.deadlines.record(span, segment.ace_bits)
         self._latency_sum[stats.name] = self._latency_sum.get(stats.name, 0.0) + span
         self._latency_count[stats.name] = self._latency_count.get(stats.name, 0) + 1
 
@@ -183,3 +299,25 @@ class AceLifetimeAnalyzer:
         """Average ACE residency per value (Little's-law latency term)."""
         count = self._latency_count.get(struct, 0)
         return self._latency_sum.get(struct, 0.0) / count if count else 0.0
+
+
+def merge_deadline_summaries(summaries: Iterable[Mapping]) -> dict:
+    """Pool per-workload deadline summaries into one suite-level summary.
+
+    Deadlines pool by union (a suite's distribution is every workload's
+    consumption events together, not an average), and the conservation
+    context — ACE bit-cycles and the observation window — adds up, so
+    the merged summary satisfies the same mass invariant the per-workload
+    ones do.
+    """
+    summaries = list(summaries)
+    merged = DeadlineDistribution.merged(
+        DeadlineDistribution.from_summary(s) for s in summaries
+    )
+    out = merged.to_summary()
+    out["ace_bit_cycles"] = sum(float(s.get("ace_bit_cycles", 0.0)) for s in summaries)
+    out["unknown_bit_cycles"] = sum(
+        float(s.get("unknown_bit_cycles", 0.0)) for s in summaries
+    )
+    out["cycles"] = sum(int(s.get("cycles", 0)) for s in summaries)
+    return out

@@ -20,7 +20,7 @@ from typing import Iterable, Mapping
 
 from typing import TYPE_CHECKING
 
-from repro.ace.lifetime import StructureAvf
+from repro.ace.lifetime import StructureAvf, merge_deadline_summaries
 from repro.core.graphmodel import StructurePorts
 from repro.errors import AceError
 
@@ -51,7 +51,10 @@ def ports_from_analysis(
             r, w = stats.pavf_r_bitwise(), stats.pavf_w_bitwise()
         else:
             r, w = stats.pavf_r(), stats.pavf_w()
-        out[name] = StructurePorts(name=name, pavf_r=r, pavf_w=w, avf=stats.avf())
+        out[name] = StructurePorts(
+            name=name, pavf_r=r, pavf_w=w, avf=stats.avf(),
+            deadlines=stats.deadline_summary(),
+        )
     return out
 
 
@@ -77,7 +80,12 @@ def average_ports(
         w = sum(_scalar(p[name].pavf_w) for p in port_sets) / n
         avfs = [p[name].avf for p in port_sets if p[name].avf is not None]
         avf = sum(avfs) / len(avfs) if avfs else None
-        out[name] = StructurePorts(name=name, pavf_r=r, pavf_w=w, avf=avf)
+        # Deadline distributions pool by union, not by averaging.
+        summaries = [p[name].deadlines for p in port_sets
+                     if p[name].deadlines is not None]
+        deadlines = merge_deadline_summaries(summaries) if summaries else None
+        out[name] = StructurePorts(name=name, pavf_r=r, pavf_w=w, avf=avf,
+                                   deadlines=deadlines)
     return out
 
 

@@ -38,6 +38,11 @@ Subcommands:
     Standalone statistical fault-injection campaign on a tinycore
     program, with ``--backend``/``--workers``/``--lanes-per-pass``
     control over the simulation substrate.
+``deadlines``
+    Error-reporting deadline view: per-structure distributions of the
+    cycles between a bit becoming corrupted and its architectural
+    consumption, from the ACE lifetime analysis. ``--derating``
+    additionally prints the per-flop logic-derating summary.
 ``beam``
     Simulated accelerated beam test (Poisson strikes into all storage)
     with the same backend/worker controls.
@@ -72,12 +77,15 @@ from repro.errors import PipelineError
 from repro.pipeline.emit import (
     export_campaign_json,
     export_sart,
+    print_deadlines,
+    print_derating,
     print_runtime_summary,
     print_stats,
 )
 from repro.pipeline.spec import (
     BeamSpec,
     CampaignSpec,
+    DeratingSpec,
     ExportSpec,
     RunSpec,
     SartSpec,
@@ -383,6 +391,44 @@ def cmd_beam(args) -> int:
     return 0
 
 
+def cmd_deadlines(args) -> int:
+    from repro.pipeline.runner import execute
+
+    ref = args.design
+    if ":" not in ref and "@" not in ref and not ref.startswith("bigcore"):
+        ref = f"tinycore:{ref}"
+    derating = None
+    if args.derating or args.mc_trials:
+        derating = DeratingSpec(mc_trials=args.mc_trials,
+                                mc_seed=args.mc_seed)
+    spec = RunSpec(
+        design=ref,
+        workloads=WorkloadsSpec(per_class=args.workloads_per_class,
+                                length=args.workload_length),
+        derating=derating,
+        campaign=_campaign_spec(args),
+    )
+    outcome = execute(spec, store=_store_from_args(args))
+    env = outcome.port_env
+    if env is None or not env.deadlines:
+        print(f"{outcome.design.ref}: no deadline distributions — the "
+              f"port source ({env.source if env else 'none'}) carries no "
+              "event timing", file=sys.stderr)
+        return 1
+    print(f"{outcome.design.ref}: error-reporting deadlines "
+          f"(cycles until consumption)")
+    print_deadlines(env.deadlines)
+    if outcome.derating is not None:
+        print_derating(outcome.derating)
+    if getattr(args, "export_json", None):
+        from repro.pipeline.emit import run_summary, write_json
+
+        write_json(args.export_json,
+                   run_summary(outcome, program=outcome.design.program_name))
+        print(f"wrote run summary to {args.export_json}")
+    return 0
+
+
 def cmd_bigcore(args) -> int:
     from repro.pipeline.runner import execute
 
@@ -583,6 +629,8 @@ def cmd_run(args) -> int:
             result = info["outcome"].result
             print(result.report.table())
             print_stats(result)
+        elif event == "derating":
+            print_derating(info["derating"])
         elif event == "export":
             print(f"wrote {info['format']} to {info['path']} "
                   f"({len(info['module'].instances)} instances)")
@@ -851,6 +899,30 @@ def build_parser() -> argparse.ArgumentParser:
     sim_opts(p)
     cache_opts(p)
     p.set_defaults(func=cmd_beam)
+
+    p = sub.add_parser(
+        "deadlines",
+        help="error-reporting deadline view (cycles until consumption)")
+    p.add_argument("design",
+                   help="tinycore program (e.g. fib) or a design reference "
+                        "(e.g. bigcore@scale=0.5)")
+    p.add_argument("--derating", action="store_true",
+                   help="also run the analytic per-flop logic-derating pass")
+    p.add_argument("--mc-trials", type=int, default=0, metavar="N",
+                   help="validate derating with an N-trial Monte-Carlo "
+                        "masking campaign (tinycore only; implies "
+                        "--derating)")
+    p.add_argument("--mc-seed", type=int, default=11)
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes for the MC campaign")
+    p.add_argument("--backend", default=None,
+                   help="simulation backend for the MC campaign")
+    p.add_argument("--workloads-per-class", type=int, default=2)
+    p.add_argument("--workload-length", type=int, default=4000)
+    p.add_argument("--export-json", metavar="PATH",
+                   help="write a machine-readable run summary")
+    cache_opts(p)
+    p.set_defaults(func=cmd_deadlines)
 
     p = sub.add_parser("bigcore", help="full flow on the synthetic big core")
     p.add_argument("--scale", type=float, default=1.0)

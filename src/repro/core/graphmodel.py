@@ -53,12 +53,18 @@ class StructurePorts:
     ``avf`` is the measured structure AVF (Eq 3) used in the final report
     for the structure's own storage bits; ``None`` defers to the
     environment default.
+
+    ``deadlines`` optionally carries the structure's error-reporting
+    deadline distribution (JSON-safe summary,
+    :meth:`repro.ace.lifetime.StructureAvf.deadline_summary`). It rides
+    along for reporting — the AVF walker itself never reads it.
     """
 
     name: str
     pavf_r: float | Sequence[float] = 1.0
     pavf_w: float | Sequence[float] = 1.0
     avf: float | None = None
+    deadlines: Mapping | None = None
 
     def read_value(self, flat_bit: int) -> float:
         return _pick(self.pavf_r, flat_bit)

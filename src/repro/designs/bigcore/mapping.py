@@ -52,6 +52,9 @@ def map_structure_ports(
             pavf_r=_clamp(_scalar(base.pavf_r) * factor),
             pavf_w=_clamp(_scalar(base.pavf_w) * factor),
             avf=_clamp(_scalar(base.avf) * factor) if base.avf is not None else None,
+            # Deadlines are consumption timings from the performance
+            # model; the per-array rate jitter does not apply to them.
+            deadlines=base.deadlines,
         )
     return out
 

@@ -28,7 +28,7 @@ fault-injected lanes (see :mod:`repro.rtlsim.simulator`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import reduce
+from functools import lru_cache, reduce
 from typing import Callable, Sequence
 
 # Names of the variadic combinational gates (pins a0..a{n-1} -> y).
@@ -152,3 +152,60 @@ def mem_pins(depth: int, width: int, nread: int) -> tuple[list[str], list[str]]:
 def mem_addr_bits(depth: int) -> int:
     """Number of address bits for a MEM of the given depth."""
     return max(1, (depth - 1).bit_length())
+
+
+# Arity above which truth-table enumeration (2^k patterns) gives way to
+# the closed forms for the wide variadic gates.
+_SENS_ENUM_CAP = 12
+
+
+@lru_cache(maxsize=None)
+def input_sensitivities(kind: str, arity: int) -> tuple[float, ...]:
+    """Per-pin sensitization probabilities of a combinational cell.
+
+    Entry *i* is the probability, under uniformly random inputs, that
+    flipping input *i* flips the output — the masking quantity logic
+    derating composes along combinational paths (Asadi & Tahoori style).
+    Computed exactly by truth-table enumeration with the cell's own
+    lane-parallel ``evaluate`` (one lane per input pattern); gates wider
+    than ``2^12`` patterns use the closed forms instead (AND/OR families:
+    ``2^-(k-1)``, XOR family: ``1``), which the enumeration matches on
+    every narrower arity.
+    """
+    spec = CELLS.get(kind)
+    if spec is None or spec.evaluate is None:
+        raise ValueError(f"no combinational evaluate for cell {kind!r}")
+    if not spec.variadic:
+        arity = len(spec.inputs)
+    if arity <= 0:
+        return ()
+    if arity > _SENS_ENUM_CAP:
+        if kind in ("AND", "OR", "NAND", "NOR"):
+            return (2.0 ** (1 - arity),) * arity
+        return (1.0,) * arity  # XOR / XNOR
+    lanes = 1 << arity
+    mask = (1 << lanes) - 1
+    ins = [_sens_pattern(i, lanes) for i in range(arity)]
+    y = spec.evaluate(ins, mask) & mask
+    out = []
+    for i in range(arity):
+        flipped = list(ins)
+        flipped[i] ^= mask
+        y_i = spec.evaluate(flipped, mask) & mask
+        out.append(bin(y ^ y_i).count("1") / lanes)
+    return tuple(out)
+
+
+def _sens_pattern(i: int, lanes: int) -> int:
+    """Lane value of input *i* enumerating all input patterns.
+
+    Bit ``L`` of the result is bit *i* of pattern index ``L``: blocks of
+    ``2^i`` zeros alternating with ``2^i`` ones.
+    """
+    block = 1 << i
+    unit = ((1 << block) - 1) << block      # one zero-block + one one-block
+    period = 2 * block
+    value = 0
+    for offset in range(0, lanes, period):
+        value |= unit << offset
+    return value & ((1 << lanes) - 1)

@@ -26,6 +26,7 @@ key scheme, and the run-spec format.
 
 from repro.pipeline.artifacts import (
     CampaignOutcome,
+    DeratingArtifact,
     DesignArtifact,
     GoldenRun,
     PlanArtifact,
@@ -38,6 +39,7 @@ from repro.pipeline.runner import RunOutcome, SweepPoint, execute, sart_config
 from repro.pipeline.spec import (
     BeamSpec,
     CampaignSpec,
+    DeratingSpec,
     ExportSpec,
     RunSpec,
     SartSpec,
@@ -55,6 +57,8 @@ __all__ = [
     "BeamSpec",
     "CampaignOutcome",
     "CampaignSpec",
+    "DeratingArtifact",
+    "DeratingSpec",
     "DesignArtifact",
     "DesignProvider",
     "ExportSpec",

@@ -93,6 +93,10 @@ class PortEnv:
     # Figure-9-style structure table, so warm runs print the same report.
     workloads: int = 0
     ace_table: str | None = None
+    # Per-structure error-reporting deadline distributions (JSON-safe
+    # summaries from the ACE lifetime analyzer); None when the port
+    # source carries no event timing (ports files, pre-deadline caches).
+    deadlines: Mapping[str, Mapping] | None = None
     cached: bool = field(default=False, compare=False)
 
 
@@ -155,4 +159,25 @@ class CampaignOutcome:
     result: Any                  # CampaignResult | BeamResult
     injections: int = 0          # planned injections (sfi)
     golden_cycles: int = 0       # campaign window (sfi)
+    cached: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class DeratingArtifact:
+    """Per-flop logic-derating analysis (combinational masking).
+
+    ``summary`` is the population view from
+    :meth:`repro.ser.derating.DeratingResult.to_summary`;
+    ``flop_derating`` the full per-flop factor table.
+    ``derated_seq_avf`` is the mean of ``avf x derating`` over the
+    design's sequential nodes when a SART solve accompanied the run.
+    ``mc`` carries the Monte-Carlo masking validation summary when the
+    spec asked for one (tinycore only).
+    """
+
+    fingerprint: str
+    summary: Mapping[str, Any]
+    flop_derating: Mapping[str, float]
+    derated_seq_avf: float | None = None
+    mc: Mapping[str, Any] | None = None
     cached: bool = field(default=False, compare=False)

@@ -68,6 +68,91 @@ def export_sart(
         echo(f"wrote summary to {export_json}")
 
 
+def print_deadlines(
+    deadlines: Mapping[str, Mapping[str, Any]],
+    echo: Callable[[str], None] = print,
+) -> None:
+    """Render the per-structure error-reporting deadline table.
+
+    One row per structure: how many consumption events were observed and
+    the p50/p95/max/mean cycles an error detector has before a corrupted
+    value in that structure is architecturally consumed.
+    """
+    header = (f"{'structure':<16} {'events':>8} {'p50':>7} {'p95':>7} "
+              f"{'max':>7} {'mean':>9}")
+    echo(header)
+    echo("-" * len(header))
+    for name in sorted(deadlines):
+        s = deadlines[name]
+        echo(
+            f"{name:<16} {int(s.get('events', 0)):>8} "
+            f"{int(s.get('p50', 0)):>7} {int(s.get('p95', 0)):>7} "
+            f"{int(s.get('max', 0)):>7} {float(s.get('mean', 0.0)):>9.2f}"
+        )
+
+
+def deadline_payload(deadlines: Mapping[str, Mapping[str, Any]]) -> dict:
+    """JSON-safe per-structure deadline section for run summaries.
+
+    Quantiles and the conservation context only — the raw histograms
+    stay on the PortEnv artifact (they can hold one bucket per distinct
+    lifetime on big designs).
+    """
+    out: dict = {}
+    for name, s in deadlines.items():
+        out[name] = {
+            "events": int(s.get("events", 0)),
+            "p50": int(s.get("p50", 0)),
+            "p95": int(s.get("p95", 0)),
+            "max": int(s.get("max", 0)),
+            "mean": float(s.get("mean", 0.0)),
+            "mass_cycles": float(s.get("mass_cycles", 0.0)),
+            "ace_bit_cycles": float(s.get("ace_bit_cycles", 0.0)),
+            "cycles": int(s.get("cycles", 0)),
+        }
+    return out
+
+
+def print_derating(
+    artifact,
+    echo: Callable[[str], None] = print,
+) -> None:
+    """Render the logic-derating population summary of one run."""
+    s = artifact.summary
+    echo(
+        f"logic derating: {int(s.get('flops', 0))} flops  "
+        f"mean={float(s.get('mean', 0.0)):.4f}  "
+        f"min={float(s.get('min', 0.0)):.4f}  "
+        f"p50={float(s.get('p50', 0.0)):.4f}  "
+        f"max={float(s.get('max', 0.0)):.4f}"
+    )
+    if artifact.derated_seq_avf is not None:
+        echo(f"derated sequential AVF (mean avf x derating): "
+             f"{artifact.derated_seq_avf:.4f}")
+    if artifact.mc:
+        mc = artifact.mc
+        echo(
+            f"MC masking validation: {int(mc.get('trials', 0))} trials, "
+            f"propagation rate {float(mc.get('rate', 0.0)):.4f} "
+            f"(analytic mean {float(s.get('mean', 0.0)):.4f})"
+        )
+
+
+def derating_payload(artifact) -> dict:
+    """JSON-safe derating section for run summaries.
+
+    Population summary and the derated sequential AVF only — the
+    per-flop factor table stays on the artifact (it has one entry per
+    flop, six-figure designs included).
+    """
+    out: dict = {"summary": dict(artifact.summary)}
+    if artifact.derated_seq_avf is not None:
+        out["derated_seq_avf"] = float(artifact.derated_seq_avf)
+    if artifact.mc:
+        out["mc"] = dict(artifact.mc)
+    return out
+
+
 def campaign_summary(outcome, *, program: str | None = None) -> dict:
     """Machine-readable summary of a CampaignOutcome (sfi or beam)."""
     payload = dict(outcome.result.to_summary())
@@ -106,6 +191,10 @@ def run_summary(outcome, *, program: str | None = None) -> dict:
                 "dirty_fubs": list(sart.dirty_fubs),
                 "resolved_fubs": trace.resolved_fubs if trace else 0,
             }
+    if outcome.port_env is not None and outcome.port_env.deadlines:
+        payload["deadlines"] = deadline_payload(outcome.port_env.deadlines)
+    if outcome.derating is not None:
+        payload["derating"] = derating_payload(outcome.derating)
     if outcome.sweep:
         payload["sweep"] = [
             {"loop_pavf": p.value,

@@ -33,12 +33,14 @@ import repro
 STAGE_VERSIONS: dict[str, int] = {
     "design": 1,
     "golden": 1,
-    "ports": 1,
-    "ace": 1,
+    "ports": 2,  # v2: error-reporting deadline summaries ride on PortEnv
+    "ace": 2,    # v2: suite-pooled deadline summaries in the cached suite
     "plan": 2,   # v2: shm-transportable plans + batched kernels (PLAN_FORMAT)
     "sart": 1,
     "sfi": 1,
     "beam": 1,
+    # Logic-derating analysis (combinational masking per flop).
+    "derating": 1,
     # Per-(FUB, direction) converged sub-solutions (ECO mode). Bump when
     # the per-FUB structural fingerprint scheme or the FubSolution layout
     # changes (repro.pipeline.delta).

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.core.sart import SartConfig
 from repro.pipeline.artifacts import (
     CampaignOutcome,
+    DeratingArtifact,
     DesignArtifact,
     GoldenRun,
     PlanArtifact,
@@ -42,6 +43,7 @@ from repro.pipeline.stages import (
     stage_ace_ports,
     stage_archsim_ports,
     stage_beam,
+    stage_derating,
     stage_design,
     stage_golden,
     stage_plan,
@@ -88,6 +90,7 @@ class RunOutcome:
     port_env: PortEnv | None = None
     plan: PlanArtifact | None = None
     sart: SartOutcome | None = None
+    derating: DeratingArtifact | None = None
     sweep: list[SweepPoint] = field(default_factory=list)
     sfi: CampaignOutcome | None = None
     beam: CampaignOutcome | None = None
@@ -227,6 +230,12 @@ def execute(
         )
         if spec.eco is not None and spec.eco.check:
             _eco_check(ctx, design, outcome, config)
+
+    # --- logic derating ------------------------------------------------
+    if "derating" in stages:
+        outcome.derating = stage_derating(
+            ctx, design, spec.derating, spec.campaign, outcome.sart
+        )
 
     # --- Figure-8 loop sweep -------------------------------------------
     if "sweep" in stages:

@@ -27,7 +27,8 @@ JSON files with the same shape are accepted (``.json`` extension).
 Sections present select the stages to run: ``[sart]`` (or a bare design
 with no other section) produces the per-FUB report, ``[sweep]`` the
 Figure-8 loop sweep, ``[sfi]``/``[beam]`` the campaigns, ``[export]`` a
-netlist export. Unknown sections and keys are rejected.
+netlist export, ``[derating]`` the per-flop logic-derating analysis.
+Unknown sections and keys are rejected.
 """
 
 from __future__ import annotations
@@ -106,6 +107,19 @@ class CampaignSpec:
 
 
 @dataclass(frozen=True)
+class DeratingSpec:
+    """Logic-derating analysis (``[derating]``).
+
+    The analytic per-flop derating pass always runs; ``mc_trials > 0``
+    additionally validates it with the Monte-Carlo masking estimator on
+    the gate-level core (tinycore designs only).
+    """
+
+    mc_trials: int = 0
+    mc_seed: int = 11
+
+
+@dataclass(frozen=True)
 class ExportSpec:
     """Netlist export (``[export]``)."""
 
@@ -144,6 +158,7 @@ class RunSpec:
     campaign: CampaignSpec = field(default_factory=CampaignSpec)
     export: ExportSpec | None = None
     eco: EcoSpec | None = None
+    derating: DeratingSpec | None = None
 
     def to_mapping(self) -> dict[str, Any]:
         """Canonical JSON-safe document (round-trips via
@@ -168,9 +183,11 @@ class RunSpec:
         out = []
         if self.export:
             out.append("export")
-        if (self.sart or self.eco
+        if (self.sart or self.eco or self.derating
                 or not (self.sweep or self.sfi or self.beam or self.export)):
             out.append("sart")
+        if self.derating:
+            out.append("derating")
         if self.sweep:
             out.append("sweep")
         if self.sfi:
@@ -189,6 +206,7 @@ _SECTIONS = {
     "campaign": CampaignSpec,
     "export": ExportSpec,
     "eco": EcoSpec,
+    "derating": DeratingSpec,
 }
 _BOOLEANS = {"monolithic", "per_node", "include_arrays", "parity", "batched",
              "check"}
@@ -260,6 +278,7 @@ def spec_from_mapping(data: Mapping[str, Any]) -> RunSpec:
         campaign=sections.get("campaign", CampaignSpec()),
         export=sections.get("export"),
         eco=sections.get("eco"),
+        derating=sections.get("derating"),
     )
 
 

@@ -21,6 +21,9 @@ plan      design + port-env fingerprints + the structural SartConfig
 sfi/beam  design fingerprint + full campaign plan parameters; skipped
           when checkpoint/resume is in play and never saved for
           campaigns that recorded permanent pass failures
+derating  design fingerprint + sart fingerprint (when a solve rode
+          along) + the MC validation knobs; backend/workers are
+          execution-only, the MC estimator is bit-identical across them
 ========  ==========================================================
 
 SART solves themselves are *not* persisted whole: with a cached plan
@@ -42,6 +45,7 @@ from repro.core.graphmodel import StructurePorts
 from repro.core.sart import SartConfig, build_plan, run_sart
 from repro.pipeline.artifacts import (
     CampaignOutcome,
+    DeratingArtifact,
     DesignArtifact,
     GoldenRun,
     PlanArtifact,
@@ -49,7 +53,7 @@ from repro.pipeline.artifacts import (
     SartOutcome,
 )
 from repro.pipeline.fingerprint import fingerprint, stage_fingerprint
-from repro.pipeline.spec import BeamSpec, CampaignSpec, SfiSpec
+from repro.pipeline.spec import BeamSpec, CampaignSpec, DeratingSpec, SfiSpec
 from repro.pipeline.store import ArtifactStore, NullStore
 
 
@@ -99,6 +103,18 @@ class PipelineContext:
 # ----------------------------------------------------------------------
 # stages
 # ----------------------------------------------------------------------
+
+def _port_deadlines(
+    ports: Mapping[str, StructurePorts],
+) -> Mapping[str, Mapping] | None:
+    """Collect the per-structure deadline summaries a port table carries."""
+    deadlines = {
+        name: port.deadlines
+        for name, port in ports.items()
+        if getattr(port, "deadlines", None)
+    }
+    return deadlines or None
+
 
 def stage_design(ctx: PipelineContext, provider) -> DesignArtifact:
     """Build the design (cheap relative to analysis; never persisted)."""
@@ -162,6 +178,7 @@ def stage_archsim_ports(
         return PortEnv(
             fingerprint=fp, ports=ports, source="archsim",
             ace_fraction=trace.ace_fraction(),
+            deadlines=_port_deadlines(ports),
         )
 
     env, hit = ctx.memoize("ports", fp, compute)
@@ -225,6 +242,7 @@ def stage_ace_ports(
         source="ace-suite",
         workloads=n_workloads,
         ace_table=suite["table"],
+        deadlines=_port_deadlines(mapped),
         cached=hit,
     )
     ctx.notify("ports", port_env=env)
@@ -385,6 +403,83 @@ def stage_sart(
     )
     ctx.notify("sart", outcome=outcome)
     return outcome
+
+
+def stage_derating(
+    ctx: PipelineContext,
+    design: DesignArtifact,
+    spec: DeratingSpec,
+    campaign: CampaignSpec,
+    sart: SartOutcome | None = None,
+) -> DeratingArtifact:
+    """Analytic per-flop logic derating, with optional MC validation.
+
+    The analytic pass runs on any design; the Monte-Carlo masking
+    estimator needs the simulable gate-level core, so ``mc_trials > 0``
+    is tinycore-only. Backend and worker count are execution placement:
+    the MC outcomes are bit-identical across them by the runtime's
+    determinism contract, so they stay out of the fingerprint.
+    """
+    fp = stage_fingerprint(
+        "derating", design.fingerprint,
+        sart.fingerprint if sart is not None else None,
+        spec.mc_trials, spec.mc_seed,
+    )
+
+    def compute() -> DeratingArtifact:
+        from repro.core.resolve import ROLE_STRUCT
+        from repro.netlist.graph import NodeKind
+        from repro.ser.derating import (
+            MaskingConfig, analytic_derating, measure_masking_mc,
+        )
+
+        derating = analytic_derating(design.module)
+        derated_seq_avf = None
+        if sart is not None:
+            products = [
+                node.avf * derating.factor(node.net)
+                for node in sart.result.node_avfs.values()
+                if node.kind == NodeKind.SEQ and node.role != ROLE_STRUCT
+            ]
+            if products:
+                derated_seq_avf = sum(products) / len(products)
+        mc = None
+        if spec.mc_trials > 0:
+            if design.kind != "tinycore":
+                from repro.errors import SpecError
+
+                raise SpecError(
+                    "[derating] mc_trials needs a simulable gate-level "
+                    f"core; design {design.ref!r} is {design.kind!r}"
+                )
+            from repro.rtlsim.backends import DEFAULT_BACKEND
+
+            result = measure_masking_mc(
+                list(design.program),
+                list(design.dmem) if design.dmem else None,
+                MaskingConfig(
+                    trials=spec.mc_trials, seed=spec.mc_seed,
+                    lanes_per_pass=campaign.lanes_per_pass
+                    if campaign.lanes_per_pass is not None else 63,
+                ),
+                netlist=design.netlist,
+                backend=campaign.backend or DEFAULT_BACKEND,
+                workers=campaign.workers,
+            )
+            mc = result.to_summary()
+        return DeratingArtifact(
+            fingerprint=fp,
+            summary=derating.to_summary(),
+            flop_derating=dict(derating.flop_derating),
+            derated_seq_avf=derated_seq_avf,
+            mc=mc,
+        )
+
+    artifact, hit = ctx.memoize("derating", fp, compute)
+    if hit:
+        artifact = replace(artifact, cached=True)
+    ctx.notify("derating", derating=artifact)
+    return artifact
 
 
 def _runtime_options(campaign: CampaignSpec):

@@ -10,18 +10,36 @@
 * :mod:`repro.ser.correlation` — the Figure 10 experiment: modeled SER
   with structure-AVF-proxy vs SART sequential AVFs, against the measured
   beam rate, normalized to arbitrary units.
+* :mod:`repro.ser.derating` — logic derating: per-flop combinational
+  masking factors, computed analytically from the cell library's gate
+  sensitizations and validated by a Monte-Carlo estimator on the
+  gate-level core. Derated per-flop SER is ``AVF x intrinsic x
+  derating`` (:func:`repro.ser.correlation.derated_rate`).
 """
 
 from repro.ser.fit import FitModel, GroupFit
 from repro.ser.beam import BeamConfig, BeamResult, run_beam_test
-from repro.ser.correlation import CorrelationRow, correlate_workloads
+from repro.ser.correlation import CorrelationRow, correlate_workloads, derated_rate
+from repro.ser.derating import (
+    DeratingResult,
+    MaskingConfig,
+    MaskingResult,
+    analytic_derating,
+    measure_masking_mc,
+)
 
 __all__ = [
     "BeamConfig",
     "BeamResult",
     "CorrelationRow",
+    "DeratingResult",
     "FitModel",
     "GroupFit",
+    "MaskingConfig",
+    "MaskingResult",
+    "analytic_derating",
     "correlate_workloads",
+    "derated_rate",
+    "measure_masking_mc",
     "run_beam_test",
 ]

@@ -1,6 +1,6 @@
 """Model-vs-measurement correlation (the Figure 10 experiment).
 
-For each beam-tested workload we build three numbers:
+For each beam-tested workload we build four numbers:
 
 * **measured** — the simulated-beam SDC rate with its statistical error;
 * **modeled (structure-AVF proxy)** — Eq 1 with every sequential bit
@@ -8,11 +8,16 @@ For each beam-tested workload we build three numbers:
   pre-sequential-AVF practice ("we were conservatively using structure
   AVFs as a proxy for the sequential AVF");
 * **modeled (sequential AVF)** — Eq 1 with SART's per-node sequential
-  AVFs.
+  AVFs;
+* **modeled (derated)** — Eq 1 with SART's sequential AVFs multiplied by
+  each flop's analytic logic-derating factor
+  (:mod:`repro.ser.derating`): combinational masking between the struck
+  flop and its capture points, which the architectural AVF model does
+  not see.
 
 With ``intrinsic_fit_per_bit`` set to the beam flux, a modeled FIT is
-directly an expected SDC rate per cycle, so the three values share units
-and can be normalized to arbitrary units exactly like the paper's plot.
+directly an expected SDC rate per cycle, so the values share units and
+can be normalized to arbitrary units exactly like the paper's plot.
 """
 
 from __future__ import annotations
@@ -53,18 +58,21 @@ class CorrelationRow:
     seq_avf_proxy: float      # the proxy's flat per-flop AVF
     seq_avf_sart: float       # SART average sequential AVF
     sart: SartResult
+    modeled_derated: float = 0.0  # expected SDC/cycle, logic-derated SART
+    mean_derating: float = 1.0    # flop-population mean derating factor
 
     @property
     def measured_rate(self) -> float:
         return self.measured.sdc_rate_per_cycle
 
     def normalized(self) -> dict[str, float]:
-        """All three rates in arbitrary units (measured = 1.0)."""
+        """All modeled rates in arbitrary units (measured = 1.0)."""
         ref = self.measured_rate or 1.0
         return {
             "measured": 1.0,
             "proxy": self.modeled_proxy / ref,
             "sart": self.modeled_sart / ref,
+            "derated": self.modeled_derated / ref,
         }
 
     @property
@@ -87,6 +95,11 @@ class CorrelationRow:
     def within_measurement_error(self) -> bool:
         low, high = self.measured.rate_interval()
         return low <= self.modeled_sart <= high
+
+    @property
+    def derated_within_measurement_error(self) -> bool:
+        low, high = self.measured.rate_interval()
+        return low <= self.modeled_derated <= high
 
 
 def model_rates(
@@ -150,6 +163,39 @@ def model_rates(
     )
 
 
+def derated_rate(
+    sart: SartResult,
+    *,
+    flux: float,
+    include_arrays: bool = True,
+):
+    """Logic-derated expected SDC rate for an already-solved design.
+
+    Per-flop ``FIT = AVF x intrinsic x derating`` with the analytic
+    derating factors from :mod:`repro.ser.derating`. Array bits keep
+    derating 1: a strike there corrupts stored data directly, with no
+    combinational logic in between. Returns ``(rate, DeratingResult)``.
+    """
+    from repro.ser.derating import analytic_derating
+
+    derating = analytic_derating(sart.model.graph)
+    model = FitModel(intrinsic_fit_per_bit=flux)
+    for node in sart.node_avfs.values():
+        if node.kind == NodeKind.SEQ and node.role != ROLE_STRUCT:
+            model.add("sequentials", node.avf, bits=1,
+                      derating=derating.factor(node.net))
+    if include_arrays:
+        ports = sart.model.structures or {}
+        for mem_name, mem in sart.model.graph.mems.items():
+            sname = mem.attrs.get("struct", mem_name)
+            if sname == "irom":
+                continue  # the beam does not strike the program ROM
+            port = ports.get(sname)
+            avf = port.avf if port is not None and port.avf is not None else 1.0
+            model.add("arrays", avf, bits=mem.depth * mem.width)
+    return model.total_fit(), derating
+
+
 def correlate_workloads(
     names=("lattice2d", "md5mix"),
     *,
@@ -170,6 +216,10 @@ def correlate_workloads(
             sart_config=sart_config,
             include_arrays=beam_config.include_arrays,
         )
+        derated, derating = derated_rate(
+            sart, flux=beam_config.flux,
+            include_arrays=beam_config.include_arrays,
+        )
         rows.append(
             CorrelationRow(
                 workload=name,
@@ -179,6 +229,8 @@ def correlate_workloads(
                 seq_avf_proxy=proxy_avf,
                 seq_avf_sart=sart_avf,
                 sart=sart,
+                modeled_derated=derated,
+                mean_derating=derating.mean(),
             )
         )
     return rows

@@ -27,11 +27,12 @@ from typing import Callable, Iterable
 
 from repro.core.report import average_seq_avf
 from repro.core.sart import SartConfig, run_sart
+from repro.ser.derating import analytic_derating
 from repro.pipeline.fingerprint import fingerprint
 from repro.verify.cases import CaseSpec, build_case
 from repro.verify.oracles import Violation
 
-CORPUS_VERSION = 1
+CORPUS_VERSION = 2
 ORACLE_NAME = "golden-corpus"
 DEFAULT_TOLERANCE = 1e-9
 
@@ -77,6 +78,7 @@ def compute_expected(spec: CaseSpec) -> dict:
     return {
         "weighted_seq_avf": result.report.weighted_seq_avf,
         "average_seq_avf": average_seq_avf(result.node_avfs),
+        "avg_logic_derating": analytic_derating(case.module).mean(),
         "fub_seq_avf": {row.fub: row.seq_avg_avf
                         for row in result.report.fubs},
         "nodes": sample,
@@ -159,7 +161,8 @@ def check_corpus(directory: Path | None = None,
         tol = float(entry.get("tolerance", DEFAULT_TOLERANCE))
         actual = compute_expected(spec)
         expected = entry["expected"]
-        for key in ("weighted_seq_avf", "average_seq_avf"):
+        for key in ("weighted_seq_avf", "average_seq_avf",
+                    "avg_logic_derating"):
             violations.extend(_compare_scalar(
                 case_label, key, expected.get(key), actual[key], tol))
         for fub, want in expected.get("fub_seq_avf", {}).items():

@@ -35,6 +35,8 @@ class Defect:
     make_sim: Callable | None = None
     analytic: Callable[[str], float] | None = None
     corrupt_corpus: Callable[[dict], dict] | None = None
+    corrupt_deadlines: Callable[[dict], dict] | None = None
+    derated: Callable[[str], float] | None = None
 
 
 def _replace_node(result: SartResult, net: str, **changes) -> SartResult:
@@ -152,6 +154,26 @@ def _optimistic_analytic(program: str) -> float:
     return 0.001  # far below any real tinycore SFI interval
 
 
+def _inflate_deadline_bin(summaries: dict) -> dict:
+    """Nudge one histogram bin weight up by one bit-cycle.
+
+    The smallest corruption a buggy accumulator could produce — one
+    segment double-counted — which breaks mass conservation against the
+    structure's ACE bit-cycle total without touching the quantiles.
+    """
+    corrupted = {name: dict(s) for name, s in summaries.items()}
+    for name in sorted(corrupted):
+        if corrupted[name].get("events"):
+            corrupted[name]["mass_cycles"] = (
+                float(corrupted[name].get("mass_cycles", 0.0)) + 1.0)
+            break
+    return corrupted
+
+
+def _underderated_rate(program: str) -> float:
+    return 1e-9  # masking model derates everything away: far below any beam
+
+
 def _corrupt_corpus_entry(entry: dict) -> dict:
     corrupted = dict(entry)
     expected = dict(corrupted.get("expected", {}))
@@ -211,6 +233,19 @@ DEFECTS: dict[str, Defect] = {
             oracle="golden-corpus",
             description="stored golden weighted_seq_avf shifted by +0.1",
             corrupt_corpus=_corrupt_corpus_entry,
+        ),
+        Defect(
+            name="deadline-sanity",
+            oracle="deadline-sanity",
+            description="one deadline histogram bin gains a bit-cycle "
+                        "of mass (conservation broken)",
+            corrupt_deadlines=_inflate_deadline_bin,
+        ),
+        Defect(
+            name="derated-ser",
+            oracle="derated-ser",
+            description="derated SER model reports a near-zero rate",
+            derated=_underderated_rate,
         ),
     )
 }

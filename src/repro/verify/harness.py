@@ -40,6 +40,8 @@ from repro.verify.defects import Defect
 from repro.verify.oracles import (
     CaseContext,
     CrossBackendOracle,
+    DeadlineSanityOracle,
+    DeratedSerOracle,
     Oracle,
     SCOPE_CIRCUIT,
     SCOPE_DESIGN,
@@ -124,6 +126,18 @@ def build_oracles(options: VerifyOptions,
                 seed=options.seed + 7,
                 analytic=analytic,
             )
+        if isinstance(oracle, DeratedSerOracle):
+            # Campaign-backed like the SFI check, so the same skip flag
+            # (--no-sfi) turns off both budgeted statistical oracles.
+            if options.skip_global:
+                continue
+            derated = defect.derated if defect is not None else None
+            oracle = DeratedSerOracle(derated=derated)
+        if isinstance(oracle, DeadlineSanityOracle):
+            corrupt = (defect.corrupt_deadlines
+                       if defect is not None else None)
+            if corrupt is not None:
+                oracle = DeadlineSanityOracle(corrupt=corrupt)
         oracles.append(oracle)
     return oracles
 

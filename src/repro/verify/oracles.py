@@ -415,6 +415,168 @@ class SfiConsistencyOracle(Oracle):
         return avf, lo, hi
 
 
+class DeadlineSanityOracle(Oracle):
+    """Structural sanity of the error-reporting deadline distributions.
+
+    Runs the ACE lifetime analysis on a tinycore program and checks
+    every per-structure deadline summary for the invariants the
+    accumulator guarantees by construction:
+
+    * quantile monotonicity — ``p50 <= p95 <= max`` and ``mean <= max``;
+    * bounded support — no deadline can exceed the traced campaign
+      window (``max <= cycles``);
+    * mass conservation — the histogram's total cycle mass equals the
+      structure's ACE bit-cycles exactly: every ACE cycle belongs to
+      exactly one consumed segment, so a histogram that gained or lost
+      a bin weight no longer sums to the ACE total.
+
+    ``analysis`` is the injectable seam (program -> per-structure
+    summaries); ``corrupt`` post-processes its output the way the
+    seeded defect does, proving the conservation check actually reads
+    the histogram mass.
+    """
+
+    name = "deadline-sanity"
+    scope = SCOPE_GLOBAL
+
+    def __init__(self, program: str = "fib",
+                 analysis: Callable[[str], Mapping[str, Mapping]] | None = None,
+                 corrupt: Callable[[Mapping], Mapping] | None = None):
+        self.program = program
+        self._analysis = analysis
+        self._corrupt = corrupt
+
+    def check(self, subject=None, ctx=None) -> list[Violation]:
+        summaries = (self._analysis or self._default_analysis)(self.program)
+        if self._corrupt is not None:
+            summaries = self._corrupt(summaries)
+        case = f"tinycore:{self.program} deadlines"
+        out: list[Violation] = []
+        for name in sorted(summaries):
+            s = summaries[name]
+            events = int(s.get("events", 0))
+            p50, p95 = int(s.get("p50", 0)), int(s.get("p95", 0))
+            peak, mean = int(s.get("max", 0)), float(s.get("mean", 0.0))
+            cycles = int(s.get("cycles", 0))
+            mass = float(s.get("mass_cycles", 0.0))
+            ace = float(s.get("ace_bit_cycles", 0.0))
+            if not (p50 <= p95 <= peak):
+                out.append(Violation(
+                    self.name, case,
+                    f"{name}: quantiles not monotone "
+                    f"(p50={p50}, p95={p95}, max={peak})"))
+            if events and mean > peak + 1e-9:
+                out.append(Violation(
+                    self.name, case,
+                    f"{name}: mean {mean:.3f} exceeds max {peak}"))
+            if peak > cycles:
+                out.append(Violation(
+                    self.name, case,
+                    f"{name}: max deadline {peak} exceeds the "
+                    f"{cycles}-cycle campaign window"))
+            if abs(mass - ace) > 1e-6 * max(1.0, ace):
+                out.append(Violation(
+                    self.name, case,
+                    f"{name}: histogram mass {mass:.6f} != ACE "
+                    f"bit-cycles {ace:.6f} (conservation broken)"))
+        return out
+
+    def _default_analysis(self, program: str) -> Mapping[str, Mapping]:
+        from repro.designs.tinycore.archsim import tinycore_structure_ports
+        from repro.designs.tinycore.core import build_tinycore
+        from repro.designs.tinycore.harness import run_gate_level
+        from repro.designs.tinycore.programs import default_dmem, program as prog
+
+        words, dmem = prog(program), default_dmem(program)
+        netlist = build_tinycore(words, dmem)
+        golden = run_gate_level(words, dmem, netlist=netlist)
+        ports, _trace, _sim = tinycore_structure_ports(
+            program, words, dmem, gate_cycles=golden.cycles)
+        return {
+            name: port.deadlines
+            for name, port in ports.items()
+            if getattr(port, "deadlines", None)
+        }
+
+
+class DeratedSerOracle(Oracle):
+    """Budgeted statistical consistency: logic-derated SER vs the beam.
+
+    The derating companion of :class:`SfiConsistencyOracle`: the
+    logic-derated model rate (per-flop ``AVF x intrinsic x derating``
+    plus undarated array bits) must land inside the simulated beam
+    test's Poisson interval, widened by a fractional ``slack`` on both
+    sides. Derating removes the combinational-masking conservatism the
+    architectural model carries, so unlike the SFI check this one is
+    two-sided: a rate *below* the widened interval means the masking
+    model derates too aggressively, *above* means it stopped derating.
+
+    ``derated`` and ``measure`` are injectable seams for mutation-kill
+    tests.
+    """
+
+    name = "derated-ser"
+    scope = SCOPE_GLOBAL
+
+    def __init__(self, program: str = "fib", exposures: int = 252,
+                 slack: float = 0.25, seed: int = 2024,
+                 derated: Callable[[str], float] | None = None,
+                 measure: Callable[..., tuple[float, float, float]] | None = None):
+        self.program = program
+        self.exposures = exposures
+        self.slack = slack
+        self.seed = seed
+        self._derated = derated
+        self._measure = measure
+
+    def check(self, subject=None, ctx=None) -> list[Violation]:
+        predicted = (self._derated or self._default_derated)(self.program)
+        rate, lo, hi = (self._measure or self._default_measure)(
+            self.program, self.exposures, self.seed)
+        case = (f"tinycore:{self.program} x{self.exposures} exposures "
+                f"(seed {self.seed})")
+        floor, ceiling = lo * (1.0 - self.slack), hi * (1.0 + self.slack)
+        if not (floor <= predicted <= ceiling):
+            return [Violation(
+                self.name, case,
+                f"derated SER {predicted:.3e}/cycle outside the widened "
+                f"beam interval [{floor:.3e}, {ceiling:.3e}] (measured "
+                f"{rate:.3e} in [{lo:.3e}, {hi:.3e}], slack "
+                f"{self.slack:.0%})")]
+        return []
+
+    def _default_derated(self, program: str) -> float:
+        from repro.designs.tinycore.archsim import tinycore_structure_ports
+        from repro.designs.tinycore.core import build_tinycore
+        from repro.designs.tinycore.harness import run_gate_level
+        from repro.designs.tinycore.programs import default_dmem, program as prog
+        from repro.ser.beam import BeamConfig
+        from repro.ser.correlation import TINYCORE_LOOP_PAVF, derated_rate
+
+        words, dmem = prog(program), default_dmem(program)
+        netlist = build_tinycore(words, dmem)
+        golden = run_gate_level(words, dmem, netlist=netlist)
+        ports, _trace, _sim = tinycore_structure_ports(
+            program, words, dmem, gate_cycles=golden.cycles)
+        result = run_sart(netlist.module, ports,
+                          SartConfig(loop_pavf=TINYCORE_LOOP_PAVF))
+        config = BeamConfig()
+        rate, _derating = derated_rate(
+            result, flux=config.flux, include_arrays=config.include_arrays)
+        return rate
+
+    def _default_measure(self, program: str, exposures: int,
+                         seed: int) -> tuple[float, float, float]:
+        from repro.designs.tinycore.programs import default_dmem, program as prog
+        from repro.ser.beam import BeamConfig, run_beam_test
+
+        words, dmem = prog(program), default_dmem(program)
+        result = run_beam_test(
+            words, dmem, BeamConfig(exposures=exposures, seed=seed))
+        lo, hi = result.rate_interval()
+        return result.sdc_rate_per_cycle, lo, hi
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -429,6 +591,8 @@ def default_oracles() -> list[Oracle]:
         LoopMonotonicityOracle(),
         CrossBackendOracle(),
         SfiConsistencyOracle(),
+        DeadlineSanityOracle(),
+        DeratedSerOracle(),
     ]
 
 

@@ -6,11 +6,13 @@ from repro.cli import main
 from repro.pipeline import (
     ArtifactStore,
     CampaignSpec,
+    DeratingSpec,
     RunSpec,
     SfiSpec,
     WorkloadsSpec,
     execute,
 )
+from repro.pipeline.fingerprint import STAGE_VERSIONS
 
 BIGCORE = ["bigcore", "--scale", "0.1", "--workloads-per-class", "1",
            "--workload-length", "400"]
@@ -112,6 +114,37 @@ def test_tinycore_sfi_warm_cache(tmp_path):
     outcome = execute(reseeded, store=ArtifactStore(cache))
     cached = {e.stage for e in outcome.events if e.cached}
     assert cached == {"golden"}
+
+
+def test_derating_warm_cache(tmp_path):
+    spec = RunSpec(design="tinycore:fib", derating=DeratingSpec())
+    cache = tmp_path / "cache"
+    cold = execute(spec, store=ArtifactStore(cache))
+    assert not cold.derating.cached
+    warm = execute(spec, store=ArtifactStore(cache))
+    assert warm.derating.cached
+    assert warm.derating.flop_derating == cold.derating.flop_derating
+    assert warm.derating.derated_seq_avf == cold.derating.derated_seq_avf
+    # MC knobs are part of the key: asking for measurement re-runs.
+    measured = RunSpec(design="tinycore:fib",
+                       derating=DeratingSpec(mc_trials=8))
+    outcome = execute(measured, store=ArtifactStore(cache))
+    assert not outcome.derating.cached
+    assert outcome.derating.mc is not None
+
+
+def test_stage_version_bump_invalidates_warm_cache(tmp_path, monkeypatch):
+    # A cache primed under an older stage implementation must not serve
+    # entries to a newer one: the code version is part of the key.
+    spec = RunSpec(design="tinycore:fib", derating=DeratingSpec())
+    cache = tmp_path / "cache"
+    execute(spec, store=ArtifactStore(cache))
+
+    monkeypatch.setitem(STAGE_VERSIONS, "ports", STAGE_VERSIONS["ports"] - 1)
+    outcome = execute(spec, store=ArtifactStore(cache))
+    cached = {e.stage for e in outcome.events if e.cached}
+    assert "golden" in cached       # version untouched: still a hit
+    assert "ports" not in cached    # pre-deadline entries are stale
 
 
 def test_checkpoint_bypasses_campaign_cache(tmp_path):

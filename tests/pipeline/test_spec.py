@@ -214,3 +214,29 @@ def test_eco_toml_loading_and_validation(tmp_path):
         })
     with pytest.raises(SpecError):
         spec_from_mapping({"design": "bigcore", "eco": {}})
+
+
+def test_derating_section_parses_and_infers_sart():
+    from repro.pipeline.spec import DeratingSpec
+
+    spec = spec_from_mapping({"design": "tinycore:fib", "derating": {}})
+    assert spec.derating == DeratingSpec()
+    # Derating multiplies the sequential AVFs, so it implies a solve.
+    assert spec.stages() == ["sart", "derating"]
+    spec = spec_from_mapping({
+        "design": "tinycore:fib",
+        "derating": {"mc_trials": 16, "mc_seed": 3},
+    })
+    assert spec.derating == DeratingSpec(mc_trials=16, mc_seed=3)
+
+
+def test_derating_section_round_trips_through_mapping():
+    spec = spec_from_mapping({
+        "design": "tinycore:fib", "derating": {"mc_trials": 16},
+    })
+    doc = spec.to_mapping()
+    assert doc["derating"] == {"mc_trials": 16, "mc_seed": 11}
+    assert spec_from_mapping(doc) == spec
+    with pytest.raises(SpecError, match=r"unknown key\(s\) \['trials'\]"):
+        spec_from_mapping({"design": "tinycore:fib",
+                           "derating": {"trials": 5}})

@@ -1,0 +1,50 @@
+"""Cross-backend bit-identity of the MC masking estimator.
+
+``measure_masking_mc`` promises that for a fixed seed the per-trial
+outcome vector is identical whichever rtlsim backend executes the
+passes: the trial plan depends only on the seed and the golden run, and
+the backends are bit-identical by contract. This pins that promise at
+the derating layer, complementing the raw simulator equivalence tests
+in ``test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.tinycore.core import build_tinycore
+from repro.designs.tinycore.programs import default_dmem, program
+from repro.ser.derating import MaskingConfig, measure_masking_mc
+
+pytest.importorskip("numpy")
+
+
+def test_masking_outcomes_identical_across_backends():
+    prog, dmem = program("fib"), default_dmem("fib")
+    netlist = build_tinycore(prog, dmem)
+    config = MaskingConfig(trials=48, seed=5, lanes_per_pass=16)
+    py = measure_masking_mc(prog, dmem, config, netlist=netlist,
+                            backend="python")
+    np_ = measure_masking_mc(prog, dmem, config, netlist=netlist,
+                             backend="numpy")
+    assert py.trials == np_.trials == 48
+    assert py.cycles == np_.cycles
+    assert py.outcomes == np_.outcomes
+    assert py.rate() == np_.rate()
+
+
+def test_masking_backend_identity_survives_lane_width_changes():
+    # lanes_per_pass reshapes the pass grouping, not the trial plan;
+    # every (backend, grouping) combination must land on one vector.
+    prog, dmem = program("fib"), default_dmem("fib")
+    netlist = build_tinycore(prog, dmem)
+    baseline = None
+    for backend in ("python", "numpy"):
+        for lanes in (7, 31):
+            config = MaskingConfig(trials=32, seed=17,
+                                   lanes_per_pass=lanes)
+            result = measure_masking_mc(prog, dmem, config,
+                                        netlist=netlist, backend=backend)
+            if baseline is None:
+                baseline = result.outcomes
+            assert result.outcomes == baseline, (backend, lanes)

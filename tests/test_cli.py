@@ -310,3 +310,48 @@ def test_run_subcommand_export_json(tmp_path):
     assert payload["design"] == "tinycore:fib"
     assert "sart" in payload["stages"]
     assert 0.0 <= payload["weighted_seq_avf"] <= 1.0
+
+
+def test_deadlines_tinycore(capsys):
+    rc = main(["deadlines", "fib"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "error-reporting deadlines" in out
+    assert "rf" in out and "dmem" in out
+    # no --derating: no derating block rides along
+    assert "logic derating" not in out
+
+
+def test_deadlines_with_derating_export_json(tmp_path, capsys):
+    out_path = tmp_path / "deadlines.json"
+    rc = main(["deadlines", "fib", "--derating", "--mc-trials", "8",
+               "--export-json", str(out_path)])
+    assert rc == 0
+    human = capsys.readouterr().out
+    assert "logic derating" in human
+    assert "MC masking validation" in human
+    payload = json.loads(out_path.read_text())
+    deadlines = payload["deadlines"]
+    assert deadlines["rf"]["events"] > 0
+    assert deadlines["rf"]["p50"] <= deadlines["rf"]["max"]
+    derating = payload["derating"]
+    assert 0.0 < derating["summary"]["mean"] <= 1.0
+    assert 0.0 <= derating["derated_seq_avf"] <= 1.0
+    assert derating["mc"]["trials"] == 8
+
+
+def test_deadlines_bigcore(capsys):
+    rc = main(["deadlines", "bigcore@scale=0.1", "--derating",
+               "--workloads-per-class", "1", "--workload-length", "400"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "error-reporting deadlines" in out
+    assert "logic derating" in out
+    # bigcore has no gate-level machine: MC must stay off
+    assert "MC masking validation" not in out
+
+
+def test_deadlines_bigcore_rejects_mc(capsys):
+    with pytest.raises(SystemExit, match="gate-level"):
+        main(["deadlines", "bigcore@scale=0.1", "--mc-trials", "4",
+              "--workloads-per-class", "1", "--workload-length", "400"])

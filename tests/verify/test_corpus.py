@@ -57,6 +57,30 @@ def test_version_mismatch_flagged(tmp_path):
     assert violations and "corpus_version" in violations[0].message
 
 
+def test_previous_format_version_flagged_stale(tmp_path):
+    # A golden blessed before avg_logic_derating existed (version 1)
+    # must be rejected as stale, not silently compared field-by-field.
+    entry = make_entry("tiny", SPEC)
+    entry["corpus_version"] = 1
+    write_entry(tmp_path, entry)
+    violations, _ = check_corpus(tmp_path)
+    assert violations and "--update-goldens" in violations[0].message
+
+
+def test_goldens_carry_logic_derating():
+    for entry in load_entries():
+        derating = entry["expected"]["avg_logic_derating"]
+        assert 0.0 < derating <= 1.0, entry["name"]
+
+
+def test_drifted_derating_flagged(tmp_path):
+    entry = make_entry("tiny", SPEC)
+    entry["expected"]["avg_logic_derating"] += 0.01
+    write_entry(tmp_path, entry)
+    violations, _ = check_corpus(tmp_path)
+    assert violations and "avg_logic_derating" in violations[0].message
+
+
 def test_drifted_value_flagged_with_update_hint(tmp_path):
     entry = make_entry("tiny", SPEC)
     entry["expected"]["weighted_seq_avf"] += 0.01

@@ -18,6 +18,8 @@ from repro.verify.defects import DEFECTS, get_defect
 from repro.verify.oracles import (
     CaseContext,
     CrossBackendOracle,
+    DeadlineSanityOracle,
+    DeratedSerOracle,
     SCOPE_CIRCUIT,
     SCOPE_DESIGN,
     SCOPE_GLOBAL,
@@ -82,6 +84,44 @@ def test_sfi_defect_killed():
     assert violations and violations[0].oracle == "sfi-consistency"
 
 
+def test_deadline_defect_killed():
+    defect = get_defect("deadline-sanity")
+    summaries = {
+        "rf": {"events": 4, "p50": 2, "p95": 3, "max": 3, "mean": 2.5,
+               "mass_cycles": 10.0, "ace_bit_cycles": 10.0, "cycles": 50},
+        "dmem": {"events": 0, "p50": 0, "p95": 0, "max": 0, "mean": 0.0,
+                 "mass_cycles": 0.0, "ace_bit_cycles": 0.0, "cycles": 50},
+    }
+    analysis = lambda program: summaries  # noqa: E731
+    clean = DeadlineSanityOracle(analysis=analysis)
+    assert clean.check(None) == []
+    broken = DeadlineSanityOracle(analysis=analysis,
+                                  corrupt=defect.corrupt_deadlines)
+    violations = broken.check(None)
+    assert violations, "deadline defect was not killed"
+    assert all(v.oracle == "deadline-sanity" for v in violations)
+    assert "conservation" in violations[0].message
+
+
+def test_derated_ser_defect_killed():
+    defect = get_defect("derated-ser")
+    measure = lambda program, exposures, seed: (1.5e-3, 1.1e-3, 1.9e-3)  # noqa: E731
+    clean = DeratedSerOracle(derated=lambda p: 1.2e-3, measure=measure)
+    assert clean.check(None) == []
+    broken = DeratedSerOracle(derated=defect.derated, measure=measure)
+    violations = broken.check(None)
+    assert violations and violations[0].oracle == "derated-ser"
+
+
+def test_derated_ser_two_sided():
+    # Unlike the SFI check, the derated band rejects both directions.
+    measure = lambda program, exposures, seed: (1.5e-3, 1.0e-3, 2.0e-3)  # noqa: E731
+    high = DeratedSerOracle(derated=lambda p: 3.0e-3, measure=measure)
+    assert high.check(None), "over-prediction must fire"
+    low = DeratedSerOracle(derated=lambda p: 1.0e-4, measure=measure)
+    assert low.check(None), "under-prediction must fire"
+
+
 def test_golden_corpus_defect_killed():
     defect = get_defect("golden-corpus")
     clean, checked = check_corpus()
@@ -96,5 +136,6 @@ def test_defect_scopes_are_exclusive():
     # could mask which oracle actually caught it.
     for defect in DEFECTS.values():
         seams = [defect.mutate_sart, defect.make_sim, defect.analytic,
-                 defect.corrupt_corpus]
+                 defect.corrupt_corpus, defect.corrupt_deadlines,
+                 defect.derated]
         assert sum(s is not None for s in seams) == 1, defect.name

@@ -117,7 +117,8 @@ def test_registry_names_unique_and_complete():
     assert len(named) == len(default_oracles())
     assert {"range", "min-resolution", "ctrl-pinned", "cross-engine",
             "loop-monotonicity", "cross-backend",
-            "sfi-consistency"} == set(named)
+            "sfi-consistency", "deadline-sanity",
+            "derated-ser"} == set(named)
 
 
 def test_loop_monotonicity_points_sorted():
